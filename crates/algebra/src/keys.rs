@@ -1,0 +1,258 @@
+//! Candidate-key derivation through operators.
+//!
+//! The paper exploits key information twice:
+//!
+//! 1. The **eager aggregation** rewrite (Yan–Larson style) that relates the
+//!    two trees of Figure 1 is only sound because `DName` is a key of
+//!    `Dept`: each `Emp` group joins with exactly one `Dept` tuple, so
+//!    grouping can be pushed below the join.
+//! 2. **Query elimination on update tracks** (§3.6): "Since DName is a key
+//!    for the Dept relation, the result propagated up along E5 and N4
+//!    contains all the tuples in the group. Thus no I/O is generated for
+//!    Q3d."
+//!
+//! [`derive_keys`] computes candidate keys (as output column-position sets)
+//! of any expression tree from the keys declared in the catalog.
+
+use std::collections::BTreeSet;
+
+use spacetime_storage::Catalog;
+
+use crate::ops::OpKind;
+use crate::scalar::ScalarExpr;
+use crate::tree::ExprNode;
+
+/// A candidate key: a set of output column positions.
+pub type Key = BTreeSet<usize>;
+
+/// Derive candidate keys of `node`'s output, given declared base-table keys.
+///
+/// The result is minimized (no key is a superset of another) and sorted for
+/// determinism. An empty result means "no key known", not "no key exists".
+pub fn derive_keys(node: &ExprNode, catalog: &Catalog) -> Vec<Key> {
+    let keys = derive(node, catalog);
+    minimize(keys)
+}
+
+/// Whether `cols` (output positions of `node`) contains a known candidate
+/// key of `node`.
+pub fn cols_contain_key(node: &ExprNode, catalog: &Catalog, cols: &[usize]) -> bool {
+    let cols: BTreeSet<usize> = cols.iter().copied().collect();
+    derive_keys(node, catalog)
+        .iter()
+        .any(|k| k.is_subset(&cols))
+}
+
+fn derive(node: &ExprNode, catalog: &Catalog) -> Vec<Key> {
+    match &node.op {
+        OpKind::Scan { table } => catalog
+            .table(table)
+            .map(|t| t.keys.iter().map(|k| k.iter().copied().collect()).collect())
+            .unwrap_or_default(),
+        OpKind::Select { .. } => derive(&node.children[0], catalog),
+        OpKind::Distinct => {
+            let mut ks = derive(&node.children[0], catalog);
+            // The whole row is a key after duplicate elimination.
+            ks.push((0..node.schema.arity()).collect());
+            ks
+        }
+        OpKind::Project { exprs } => {
+            let child_keys = derive(&node.children[0], catalog);
+            // Map each child column to the first output position that is a
+            // plain reference to it.
+            let position_of = |child_col: usize| -> Option<usize> {
+                exprs
+                    .iter()
+                    .position(|(e, _)| matches!(e, ScalarExpr::Col(c) if *c == child_col))
+            };
+            child_keys
+                .into_iter()
+                .filter_map(|k| k.iter().map(|&c| position_of(c)).collect::<Option<Key>>())
+                .collect()
+        }
+        OpKind::Aggregate { group_by, .. } => {
+            let mut out: Vec<Key> = Vec::new();
+            // The group-by columns (output positions 0..n) are a key.
+            out.push((0..group_by.len()).collect());
+            // A child key that is a subset of the group-by columns remains
+            // a key (each group then holds exactly one child row).
+            let child_keys = derive(&node.children[0], catalog);
+            let gb_set: BTreeSet<usize> = group_by.iter().copied().collect();
+            for k in child_keys {
+                if k.is_subset(&gb_set) {
+                    let mapped: Key = k
+                        .iter()
+                        .map(|c| group_by.iter().position(|g| g == c).expect("subset"))
+                        .collect();
+                    out.push(mapped);
+                }
+            }
+            out
+        }
+        OpKind::Join { condition } => {
+            let left = &node.children[0];
+            let right = &node.children[1];
+            let lkeys = derive(left, catalog);
+            let rkeys = derive(right, catalog);
+            let larity = left.schema.arity();
+            let lcols: BTreeSet<usize> = condition.left_cols().into_iter().collect();
+            let rcols: BTreeSet<usize> = condition.right_cols().into_iter().collect();
+            let right_joined_on_key = rkeys.iter().any(|k| k.is_subset(&rcols));
+            let left_joined_on_key = lkeys.iter().any(|k| k.is_subset(&lcols));
+
+            let shift = |k: &Key| -> Key { k.iter().map(|&c| c + larity).collect() };
+            let mut out: Vec<Key> = Vec::new();
+            // Each left tuple matches ≤ 1 right tuple ⇒ left keys survive.
+            if right_joined_on_key {
+                out.extend(lkeys.iter().cloned());
+            }
+            if left_joined_on_key {
+                out.extend(rkeys.iter().map(&shift));
+            }
+            // A (left key ∪ right key) pair is always a key of the join.
+            for lk in &lkeys {
+                for rk in &rkeys {
+                    let mut combined = lk.clone();
+                    combined.extend(shift(rk));
+                    out.push(combined);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn minimize(mut keys: Vec<Key>) -> Vec<Key> {
+    keys.sort();
+    keys.dedup();
+    let copy = keys.clone();
+    keys.retain(|k| !copy.iter().any(|other| other != k && other.is_subset(k)));
+    keys.sort_by(|a, b| (a.len(), a).cmp(&(b.len(), b)));
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AggExpr, AggFunc};
+    use crate::tree::ExprNode;
+    use spacetime_storage::{DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "Emp",
+            Schema::of_table(
+                "Emp",
+                &[
+                    ("EName", DataType::Str),
+                    ("DName", DataType::Str),
+                    ("Salary", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat.declare_key("Emp", &["EName"]).unwrap();
+        cat.create_table(
+            "Dept",
+            Schema::of_table(
+                "Dept",
+                &[
+                    ("DName", DataType::Str),
+                    ("MName", DataType::Str),
+                    ("Budget", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat.declare_key("Dept", &["DName"]).unwrap();
+        cat
+    }
+
+    fn key(cols: &[usize]) -> Key {
+        cols.iter().copied().collect()
+    }
+
+    #[test]
+    fn scan_returns_declared_keys() {
+        let cat = catalog();
+        let dept = ExprNode::scan(&cat, "Dept").unwrap();
+        assert_eq!(derive_keys(&dept, &cat), vec![key(&[0])]);
+    }
+
+    #[test]
+    fn join_on_right_key_preserves_left_keys() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let dept = ExprNode::scan(&cat, "Dept").unwrap();
+        // Emp ⋈ Dept on DName: Dept is joined on its key, so EName (pos 0)
+        // remains a key of the output.
+        let j = ExprNode::join_on(emp, dept, &[("Emp.DName", "Dept.DName")]).unwrap();
+        let keys = derive_keys(&j, &cat);
+        assert!(keys.contains(&key(&[0])), "{keys:?}");
+        // Dept's key does NOT survive (a department matches many employees).
+        assert!(!keys.contains(&key(&[3])), "{keys:?}");
+    }
+
+    #[test]
+    fn join_without_key_gives_combined_key() {
+        let mut cat = catalog();
+        // Strip the key declarations to exercise the combined-key fallback.
+        cat.table_mut("Emp").unwrap().keys.push(vec![0]);
+        let emp1 = ExprNode::scan(&cat, "Emp").unwrap();
+        let emp2 = ExprNode::scan(&cat, "Emp").unwrap();
+        let j = ExprNode::join_on(emp1, emp2, &[("DName", "DName")]).unwrap();
+        let keys = derive_keys(&j, &cat);
+        assert!(keys.contains(&key(&[0, 3])), "{keys:?}");
+    }
+
+    #[test]
+    fn aggregate_group_cols_are_key() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let agg = ExprNode::aggregate(
+            emp,
+            vec![1],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(2), "SalSum")],
+        )
+        .unwrap();
+        assert_eq!(derive_keys(&agg, &cat), vec![key(&[0])]);
+    }
+
+    #[test]
+    fn select_preserves_and_distinct_adds_row_key() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let sel = ExprNode::select(emp.clone(), ScalarExpr::col_eq_lit(1, "Sales")).unwrap();
+        assert_eq!(derive_keys(&sel, &cat), vec![key(&[0])]);
+        let proj = ExprNode::project_cols(emp, &[1, 2]).unwrap();
+        assert!(
+            derive_keys(&proj, &cat).is_empty(),
+            "key column projected away"
+        );
+        let d = ExprNode::distinct(proj).unwrap();
+        assert_eq!(derive_keys(&d, &cat), vec![key(&[0, 1])]);
+    }
+
+    #[test]
+    fn projection_remaps_keys() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let p = ExprNode::project_cols(emp, &[2, 0]).unwrap();
+        assert_eq!(derive_keys(&p, &cat), vec![key(&[1])]);
+    }
+
+    #[test]
+    fn cols_contain_key_checks_subset() {
+        let cat = catalog();
+        let dept = ExprNode::scan(&cat, "Dept").unwrap();
+        assert!(cols_contain_key(&dept, &cat, &[0, 2]));
+        assert!(!cols_contain_key(&dept, &cat, &[1, 2]));
+    }
+
+    #[test]
+    fn minimize_removes_supersets() {
+        let ks = minimize(vec![key(&[0, 1]), key(&[0]), key(&[0, 1])]);
+        assert_eq!(ks, vec![key(&[0])]);
+    }
+}

@@ -1,0 +1,340 @@
+//! The logical operator vocabulary.
+//!
+//! Operators are *structural*: two [`OpKind`] values are equal iff they are
+//! the same operator with the same parameters. The memo hash-conses
+//! operation nodes on `(OpKind, child group ids)`, so all parameter types
+//! here implement `Eq + Hash`.
+
+use std::fmt;
+
+use spacetime_storage::Schema;
+
+use crate::scalar::ScalarExpr;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)` (non-NULL count when an argument is
+    /// given).
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// Whether the function can be maintained from its own old output value
+    /// plus the delta ("adding to or subtracting from the previous
+    /// aggregate values", §1). SUM and COUNT qualify; AVG cannot be updated
+    /// from the average alone, and MIN/MAX may require re-querying the
+    /// group when an extremum leaves.
+    pub fn invertible(self) -> bool {
+        matches!(self, AggFunc::Count | AggFunc::Sum)
+    }
+
+    /// SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// One aggregate in a grouping operator: `name := func(arg)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The argument (over the input schema); `None` means `COUNT(*)`.
+    pub arg: Option<ScalarExpr>,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggExpr {
+    /// `func(arg) AS name`.
+    pub fn new(func: AggFunc, arg: ScalarExpr, name: impl Into<String>) -> Self {
+        AggExpr {
+            func,
+            arg: Some(arg),
+            name: name.into(),
+        }
+    }
+
+    /// `COUNT(*) AS name`.
+    pub fn count_star(name: impl Into<String>) -> Self {
+        AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(a) => write!(f, "{}({a})", self.func.name()),
+            None => write!(f, "{}(*)", self.func.name()),
+        }
+    }
+}
+
+/// An equi-join condition: pairs of (left column, right column), positions
+/// relative to each input's schema, plus an optional residual predicate
+/// over the concatenated schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct JoinCondition {
+    /// Equi-join column pairs `(left position, right position)`.
+    pub equi: Vec<(usize, usize)>,
+    /// Residual predicate over `left.schema ++ right.schema`, if any.
+    pub residual: Option<ScalarExpr>,
+}
+
+impl JoinCondition {
+    /// A pure equi-join on the given pairs.
+    pub fn on(equi: impl Into<Vec<(usize, usize)>>) -> Self {
+        JoinCondition {
+            equi: equi.into(),
+            residual: None,
+        }
+    }
+
+    /// Left-side join columns.
+    pub fn left_cols(&self) -> Vec<usize> {
+        self.equi.iter().map(|&(l, _)| l).collect()
+    }
+
+    /// Right-side join columns.
+    pub fn right_cols(&self) -> Vec<usize> {
+        self.equi.iter().map(|&(_, r)| r).collect()
+    }
+
+    /// Whether this is a pure equi-join (no residual).
+    pub fn is_pure_equi(&self) -> bool {
+        self.residual.is_none()
+    }
+}
+
+/// A logical operator.
+///
+/// The shape mirrors the paper's expression-tree nodes: "each leaf node
+/// corresponds to a database relation …; each non-leaf node contains an
+/// operator (e.g., join, grouping/aggregation), and either one or two
+/// children" (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Leaf: a database relation (or previously-materialized view) by name.
+    Scan {
+        /// The catalog table name.
+        table: String,
+    },
+    /// Filter by a predicate over the child schema.
+    Select {
+        /// The predicate.
+        predicate: ScalarExpr,
+    },
+    /// Generalized projection: computed output columns `(expr, name)` over
+    /// the child schema. Multiset semantics: duplicates are kept.
+    Project {
+        /// Output expressions with their column names.
+        exprs: Vec<(ScalarExpr, String)>,
+    },
+    /// Binary equi-join (with optional residual predicate).
+    Join {
+        /// The join condition.
+        condition: JoinCondition,
+    },
+    /// Grouping/aggregation. Output schema = group columns (in order)
+    /// followed by aggregate outputs.
+    Aggregate {
+        /// Group-by columns (positions in the child schema).
+        group_by: Vec<usize>,
+        /// Aggregates to compute.
+        aggs: Vec<AggExpr>,
+    },
+    /// Duplicate elimination.
+    Distinct,
+}
+
+impl OpKind {
+    /// Number of children this operator takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            OpKind::Scan { .. } => 0,
+            OpKind::Join { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Short operator name for displays.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Scan { .. } => "Scan",
+            OpKind::Select { .. } => "Select",
+            OpKind::Project { .. } => "Project",
+            OpKind::Join { .. } => "Join",
+            OpKind::Aggregate { .. } => "Aggregate",
+            OpKind::Distinct => "Distinct",
+        }
+    }
+
+    /// Render the operator with column names taken from its children's
+    /// output schemas (`inputs` holds one schema per child, so a join's
+    /// right-side positions resolve against the right child).
+    pub fn describe(&self, inputs: &[&Schema]) -> String {
+        // For unary operators, positions resolve against the single input;
+        // residual join predicates resolve against the concatenation.
+        let unary = inputs.first().copied();
+        let col_name = |i: usize| -> String {
+            unary
+                .and_then(|s| s.column(i))
+                .map(|c| c.qualified_name())
+                .unwrap_or_else(|| format!("#{i}"))
+        };
+        match self {
+            OpKind::Scan { table } => table.clone(),
+            OpKind::Select { predicate } => match unary {
+                Some(s) => format!("Select ({})", predicate.display_with(s)),
+                None => format!("Select ({predicate})"),
+            },
+            OpKind::Project { exprs } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .map(|(e, n)| match unary {
+                        Some(s) => format!("{} AS {n}", e.display_with(s)),
+                        None => format!("{e} AS {n}"),
+                    })
+                    .collect();
+                format!("Project ({})", cols.join(", "))
+            }
+            OpKind::Join { condition } => {
+                let left_name = col_name;
+                let right_name = |i: usize| -> String {
+                    inputs
+                        .get(1)
+                        .and_then(|s| s.column(i))
+                        .map(|c| c.qualified_name())
+                        .unwrap_or_else(|| format!("#R{i}"))
+                };
+                let pairs: Vec<String> = condition
+                    .equi
+                    .iter()
+                    .map(|&(l, r)| format!("{} = {}", left_name(l), right_name(r)))
+                    .collect();
+                if pairs.is_empty() {
+                    "Join (cross)".to_string()
+                } else {
+                    format!("Join ({})", pairs.join(" AND "))
+                }
+            }
+            OpKind::Aggregate { group_by, aggs } => {
+                let gs: Vec<String> = group_by.iter().map(|&g| col_name(g)).collect();
+                let asx: Vec<String> = aggs
+                    .iter()
+                    .map(|a| match (&a.arg, unary) {
+                        (Some(arg), Some(s)) => {
+                            format!("{}({})", a.func.name(), arg.display_with(s))
+                        }
+                        _ => a.to_string(),
+                    })
+                    .collect();
+                if gs.is_empty() {
+                    format!("Aggregate ({})", asx.join(", "))
+                } else {
+                    format!("Aggregate ({} BY {})", asx.join(", "), gs.join(", "))
+                }
+            }
+            OpKind::Distinct => "Distinct".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe(&[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::CmpOp;
+
+    #[test]
+    fn arities() {
+        assert_eq!(OpKind::Scan { table: "T".into() }.arity(), 0);
+        assert_eq!(
+            OpKind::Join {
+                condition: JoinCondition::on(vec![(0, 0)])
+            }
+            .arity(),
+            2
+        );
+        assert_eq!(OpKind::Distinct.arity(), 1);
+    }
+
+    #[test]
+    fn join_condition_accessors() {
+        let c = JoinCondition::on(vec![(1, 0), (2, 3)]);
+        assert_eq!(c.left_cols(), vec![1, 2]);
+        assert_eq!(c.right_cols(), vec![0, 3]);
+        assert!(c.is_pure_equi());
+    }
+
+    #[test]
+    fn structural_equality_for_hash_consing() {
+        let a = OpKind::Select {
+            predicate: ScalarExpr::col_eq_lit(0, 1),
+        };
+        let b = OpKind::Select {
+            predicate: ScalarExpr::col_eq_lit(0, 1),
+        };
+        let c = OpKind::Select {
+            predicate: ScalarExpr::col_eq_lit(0, 2),
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let s = Schema::of_table(
+            "Emp",
+            &[
+                ("EName", spacetime_storage::DataType::Str),
+                ("DName", spacetime_storage::DataType::Str),
+                ("Salary", spacetime_storage::DataType::Int),
+            ],
+        );
+        let agg = OpKind::Aggregate {
+            group_by: vec![1],
+            aggs: vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(2), "SalSum")],
+        };
+        assert_eq!(
+            agg.describe(&[&s]),
+            "Aggregate (SUM(Emp.Salary) BY Emp.DName)"
+        );
+        let sel = OpKind::Select {
+            predicate: ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(2), ScalarExpr::lit(100)),
+        };
+        assert_eq!(sel.describe(&[&s]), "Select (Emp.Salary > 100)");
+    }
+
+    #[test]
+    fn count_star_displays() {
+        assert_eq!(AggExpr::count_star("n").to_string(), "COUNT(*)");
+        assert!(AggFunc::Sum.invertible());
+        assert!(!AggFunc::Avg.invertible());
+        assert!(!AggFunc::Min.invertible());
+    }
+}

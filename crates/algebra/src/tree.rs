@@ -1,0 +1,460 @@
+//! Schema-validated expression trees.
+//!
+//! An [`ExprTree`] is the paper's "expression tree" (§2.1): leaves are
+//! database relations, internal nodes are operators. Trees are immutable
+//! and `Arc`-shared — the same subtree may appear under several parents
+//! (the paper notes trees with common subexpressions are really DAGs).
+//!
+//! Construction goes through validating builders that compute each node's
+//! output [`Schema`] once, so downstream layers (executor, memo, cost)
+//! never re-derive or re-check schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use spacetime_storage::{Catalog, Column, DataType, Schema, StorageError, StorageResult};
+
+use crate::ops::{AggExpr, AggFunc, JoinCondition, OpKind};
+use crate::scalar::ScalarExpr;
+
+/// A shared expression tree.
+pub type ExprTree = Arc<ExprNode>;
+
+/// Compute (and validate) the output schema of a non-leaf operator from
+/// its children's schemas. `Scan` is excluded — its schema comes from the
+/// catalog. This is the single source of truth used by the tree builders
+/// and by the memo when rules synthesize new operation nodes.
+pub fn derive_schema(op: &OpKind, children: &[&Schema]) -> StorageResult<Schema> {
+    match op {
+        OpKind::Scan { table } => Err(StorageError::SchemaMismatch {
+            detail: format!("schema of scan `{table}` requires the catalog"),
+        }),
+        OpKind::Select { predicate } => {
+            let child = children[0];
+            let dt = predicate.dtype(child)?;
+            if dt != DataType::Bool {
+                return Err(StorageError::TypeError(format!(
+                    "selection predicate has type {dt}, expected BOOLEAN"
+                )));
+            }
+            Ok(child.clone())
+        }
+        OpKind::Project { exprs } => {
+            let child = children[0];
+            let mut cols = Vec::with_capacity(exprs.len());
+            for (e, name) in exprs {
+                let dtype = e.dtype(child)?;
+                let col = match e {
+                    ScalarExpr::Col(i) => {
+                        let src = child.column(*i).expect("dtype checked range");
+                        Column {
+                            qualifier: src.qualifier.clone(),
+                            name: name.clone(),
+                            dtype,
+                        }
+                    }
+                    _ => Column::bare(name.clone(), dtype),
+                };
+                cols.push(col);
+            }
+            Ok(Schema::new(cols))
+        }
+        OpKind::Join { condition } => {
+            let (left, right) = (children[0], children[1]);
+            for &(l, r) in &condition.equi {
+                if l >= left.arity() {
+                    return Err(StorageError::SchemaMismatch {
+                        detail: format!("join: left column {l} out of range"),
+                    });
+                }
+                if r >= right.arity() {
+                    return Err(StorageError::SchemaMismatch {
+                        detail: format!("join: right column {r} out of range"),
+                    });
+                }
+            }
+            let schema = left.concat(right);
+            if let Some(res) = &condition.residual {
+                let dt = res.dtype(&schema)?;
+                if dt != DataType::Bool {
+                    return Err(StorageError::TypeError(format!(
+                        "join residual has type {dt}, expected BOOLEAN"
+                    )));
+                }
+            }
+            Ok(schema)
+        }
+        OpKind::Aggregate { group_by, aggs } => {
+            let child = children[0];
+            let mut cols = Vec::with_capacity(group_by.len() + aggs.len());
+            for &g in group_by {
+                let col = child
+                    .column(g)
+                    .ok_or_else(|| StorageError::SchemaMismatch {
+                        detail: format!("group-by position {g} out of range"),
+                    })?;
+                cols.push(col.clone());
+            }
+            for a in aggs {
+                let dtype = ExprNode::agg_dtype(a, child)?;
+                cols.push(Column::bare(a.name.clone(), dtype));
+            }
+            Ok(Schema::new(cols))
+        }
+        OpKind::Distinct => Ok(children[0].clone()),
+    }
+}
+
+/// One node of an expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprNode {
+    /// The operator at this node.
+    pub op: OpKind,
+    /// Children (0 for scans, 1 for unary ops, 2 for joins).
+    pub children: Vec<ExprTree>,
+    /// The node's output schema (computed at construction).
+    pub schema: Schema,
+}
+
+impl ExprNode {
+    /// Leaf: scan a catalog table. The output schema is the table's schema.
+    pub fn scan(catalog: &Catalog, table: &str) -> StorageResult<ExprTree> {
+        let t = catalog.table(table)?;
+        Ok(Arc::new(ExprNode {
+            op: OpKind::Scan {
+                table: table.to_string(),
+            },
+            children: vec![],
+            schema: t.schema().clone(),
+        }))
+    }
+
+    /// Build a non-leaf node over children, deriving and validating the
+    /// output schema.
+    pub fn build(op: OpKind, children: Vec<ExprTree>) -> StorageResult<ExprTree> {
+        let child_schemas: Vec<&Schema> = children.iter().map(|c| &c.schema).collect();
+        let schema = derive_schema(&op, &child_schemas)?;
+        Ok(Arc::new(ExprNode {
+            op,
+            children,
+            schema,
+        }))
+    }
+
+    /// Filter `child` by `predicate` (must be boolean over the child
+    /// schema).
+    pub fn select(child: ExprTree, predicate: ScalarExpr) -> StorageResult<ExprTree> {
+        Self::build(OpKind::Select { predicate }, vec![child])
+    }
+
+    /// Generalized projection of `child` onto `(expr, name)` outputs.
+    pub fn project(child: ExprTree, exprs: Vec<(ScalarExpr, String)>) -> StorageResult<ExprTree> {
+        Self::build(OpKind::Project { exprs }, vec![child])
+    }
+
+    /// Projection onto existing columns by position (no computation, names
+    /// preserved).
+    pub fn project_cols(child: ExprTree, positions: &[usize]) -> StorageResult<ExprTree> {
+        let exprs = positions
+            .iter()
+            .map(|&p| {
+                let col = child
+                    .schema
+                    .column(p)
+                    .ok_or_else(|| StorageError::SchemaMismatch {
+                        detail: format!("projection position {p} out of range"),
+                    })?;
+                Ok((ScalarExpr::col(p), col.name.clone()))
+            })
+            .collect::<StorageResult<Vec<_>>>()?;
+        Self::project(child, exprs)
+    }
+
+    /// Equi-join `left` and `right`. Column positions in `condition.equi`
+    /// are relative to each input; the residual (if any) is over the
+    /// concatenated schema. Output schema = `left ++ right`.
+    pub fn join(
+        left: ExprTree,
+        right: ExprTree,
+        condition: JoinCondition,
+    ) -> StorageResult<ExprTree> {
+        Self::build(OpKind::Join { condition }, vec![left, right])
+    }
+
+    /// Natural-style equi-join by column *names* (resolved on both sides).
+    pub fn join_on(
+        left: ExprTree,
+        right: ExprTree,
+        pairs: &[(&str, &str)],
+    ) -> StorageResult<ExprTree> {
+        let equi = pairs
+            .iter()
+            .map(|(l, r)| {
+                Ok((
+                    left.schema.resolve_dotted(l)?,
+                    right.schema.resolve_dotted(r)?,
+                ))
+            })
+            .collect::<StorageResult<Vec<_>>>()?;
+        Self::join(left, right, JoinCondition::on(equi))
+    }
+
+    /// Group `child` by `group_by` columns and compute `aggs`.
+    /// Output schema: the group columns in the given order, then one column
+    /// per aggregate.
+    pub fn aggregate(
+        child: ExprTree,
+        group_by: Vec<usize>,
+        aggs: Vec<AggExpr>,
+    ) -> StorageResult<ExprTree> {
+        Self::build(OpKind::Aggregate { group_by, aggs }, vec![child])
+    }
+
+    /// Output type of one aggregate.
+    pub fn agg_dtype(a: &AggExpr, input: &Schema) -> StorageResult<DataType> {
+        Ok(match (a.func, &a.arg) {
+            (AggFunc::Count, _) => DataType::Int,
+            (AggFunc::Avg, Some(arg)) => {
+                arg.dtype(input)?; // validate
+                DataType::Double
+            }
+            (AggFunc::Sum | AggFunc::Min | AggFunc::Max, Some(arg)) => {
+                let dt = arg.dtype(input)?;
+                if a.func == AggFunc::Sum && !matches!(dt, DataType::Int | DataType::Double) {
+                    return Err(StorageError::TypeError(format!(
+                        "SUM over non-numeric type {dt}"
+                    )));
+                }
+                dt
+            }
+            (f, None) => {
+                return Err(StorageError::TypeError(format!(
+                    "{} requires an argument",
+                    f.name()
+                )))
+            }
+        })
+    }
+
+    /// Duplicate elimination.
+    pub fn distinct(child: ExprTree) -> StorageResult<ExprTree> {
+        Self::build(OpKind::Distinct, vec![child])
+    }
+
+    /// The table names of all scan leaves, left to right (with repeats).
+    pub fn leaf_tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a str>) {
+        if let OpKind::Scan { table } = &self.op {
+            out.push(table);
+        }
+        for c in &self.children {
+            c.collect_leaves(out);
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Pretty multi-line rendering, one node per line, children indented —
+    /// the format used to print the paper's Figure 1/3/5 trees.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let inputs: Vec<&Schema> = self.children.iter().map(|c| &c.schema).collect();
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.op.describe(&inputs));
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for ExprNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render().trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::CmpOp;
+    use spacetime_storage::DataType;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "Emp",
+            Schema::of_table(
+                "Emp",
+                &[
+                    ("EName", DataType::Str),
+                    ("DName", DataType::Str),
+                    ("Salary", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat.create_table(
+            "Dept",
+            Schema::of_table(
+                "Dept",
+                &[
+                    ("DName", DataType::Str),
+                    ("MName", DataType::Str),
+                    ("Budget", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat
+    }
+
+    /// Build the paper's Figure 1 (right) tree:
+    /// Select(SumSal > Budget)(Aggregate(SUM Salary BY DName, Budget)(Emp ⋈ Dept)).
+    fn problem_dept(cat: &Catalog) -> ExprTree {
+        let emp = ExprNode::scan(cat, "Emp").unwrap();
+        let dept = ExprNode::scan(cat, "Dept").unwrap();
+        let join = ExprNode::join_on(emp, dept, &[("Emp.DName", "Dept.DName")]).unwrap();
+        let agg = ExprNode::aggregate(
+            join.clone(),
+            vec![
+                join.schema.resolve_dotted("Dept.DName").unwrap(),
+                join.schema.resolve_dotted("Budget").unwrap(),
+            ],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                ScalarExpr::col(join.schema.resolve_dotted("Salary").unwrap()),
+                "SalSum",
+            )],
+        )
+        .unwrap();
+        ExprNode::select(
+            agg.clone(),
+            ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(agg.schema.resolve_dotted("SalSum").unwrap()),
+                ScalarExpr::col(agg.schema.resolve_dotted("Budget").unwrap()),
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schemas_propagate() {
+        let cat = catalog();
+        let v = problem_dept(&cat);
+        assert_eq!(v.schema.arity(), 3);
+        assert_eq!(v.schema.column(0).unwrap().qualified_name(), "Dept.DName");
+        assert_eq!(v.schema.column(2).unwrap().name, "SalSum");
+        assert_eq!(v.schema.column(2).unwrap().dtype, DataType::Int);
+        assert_eq!(v.leaf_tables(), vec!["Emp", "Dept"]);
+        assert_eq!(v.node_count(), 5);
+    }
+
+    #[test]
+    fn select_requires_boolean() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        assert!(ExprNode::select(emp, ScalarExpr::col(2)).is_err());
+    }
+
+    #[test]
+    fn join_validates_positions() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let dept = ExprNode::scan(&cat, "Dept").unwrap();
+        assert!(
+            ExprNode::join(emp.clone(), dept.clone(), JoinCondition::on(vec![(7, 0)])).is_err()
+        );
+        assert!(ExprNode::join(emp, dept, JoinCondition::on(vec![(1, 9)])).is_err());
+    }
+
+    #[test]
+    fn aggregate_schema_and_types() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let agg = ExprNode::aggregate(
+            emp,
+            vec![1],
+            vec![
+                AggExpr::new(AggFunc::Sum, ScalarExpr::col(2), "SalSum"),
+                AggExpr::count_star("N"),
+                AggExpr::new(AggFunc::Avg, ScalarExpr::col(2), "AvgSal"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(agg.schema.arity(), 4);
+        assert_eq!(agg.schema.column(1).unwrap().dtype, DataType::Int);
+        assert_eq!(agg.schema.column(3).unwrap().dtype, DataType::Double);
+    }
+
+    #[test]
+    fn sum_over_string_rejected() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        assert!(ExprNode::aggregate(
+            emp,
+            vec![],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(0), "S")]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn project_tracks_qualifiers() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let p = ExprNode::project(
+            emp,
+            vec![
+                (ScalarExpr::col(1), "DName".into()),
+                (
+                    ScalarExpr::bin(
+                        crate::scalar::BinOp::Mul,
+                        ScalarExpr::col(2),
+                        ScalarExpr::lit(2),
+                    ),
+                    "DoubleSalary".into(),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            p.schema.column(0).unwrap().qualifier.as_deref(),
+            Some("Emp")
+        );
+        assert_eq!(p.schema.column(1).unwrap().qualifier, None);
+    }
+
+    #[test]
+    fn render_matches_figure_style() {
+        let cat = catalog();
+        let v = problem_dept(&cat);
+        let text = v.render();
+        assert!(text.contains("Select (SalSum > Dept.Budget)"), "{text}");
+        assert!(
+            text.contains("Aggregate (SUM(Emp.Salary) BY Dept.DName, Dept.Budget)"),
+            "{text}"
+        );
+        assert!(text.contains("Join (Emp.DName = Dept.DName)"), "{text}");
+    }
+
+    #[test]
+    fn unknown_scan_errors() {
+        let cat = catalog();
+        assert!(ExprNode::scan(&cat, "Nope").is_err());
+    }
+}

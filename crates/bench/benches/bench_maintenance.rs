@@ -1,0 +1,68 @@
+//! E-IVM: measured maintenance throughput with and without the auxiliary
+//! views the optimizer picks — the runtime counterpart of the paper's §1
+//! claim that "maintaining a suitable set of additional materialized views
+//! can lead to a substantial reduction in maintenance cost".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use spacetime_bench::workload::{load_paper_data, paper_schema_db, random_emp_updates};
+use spacetime_cost::TransactionType;
+use spacetime_ivm::{Database, ViewSelection};
+
+const DEPARTMENTS: usize = 200;
+const EMPS_PER_DEPT: usize = 10;
+
+fn build_db(selection: ViewSelection) -> Database {
+    let mut db = paper_schema_db();
+    db.set_view_selection(selection);
+    load_paper_data(&mut db, DEPARTMENTS, EMPS_PER_DEPT);
+    db.declare_workload(vec![
+        TransactionType::modify(">Emp", "Emp", 1.0),
+        TransactionType::modify(">Dept", "Dept", 1.0),
+    ]);
+    db.execute_sql(
+        "CREATE MATERIALIZED VIEW ProblemDept (DName) AS \
+         SELECT Dept.DName FROM Emp, Dept WHERE Dept.DName = Emp.DName \
+         GROUP BY Dept.DName, Budget HAVING SUM(Salary) > Budget",
+    )
+    .expect("view");
+    db
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance/emp_updates");
+    group.sample_size(10);
+    for (label, selection) in [
+        ("no_aux_views", ViewSelection::RootOnly),
+        ("optimal_aux_views", ViewSelection::Exhaustive),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, "batch_of_50"),
+            &selection,
+            |b, &selection| {
+                b.iter_batched(
+                    || {
+                        (
+                            build_db(selection),
+                            random_emp_updates(DEPARTMENTS, EMPS_PER_DEPT, 50, 7),
+                        )
+                    },
+                    |(mut db, updates)| {
+                        let mut io_total = 0u64;
+                        for (table, delta) in updates {
+                            let report = db.apply_delta(&table, delta).expect("maintenance");
+                            io_total += report.paper_cost();
+                        }
+                        black_box(io_total)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Expression-DAG (memo) construction and exploration cost — the §2.1
+//! step every optimization run starts with.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use spacetime_bench::scenarios::{join_chain, problem_dept};
+use spacetime_memo::{explore, Memo};
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo/explore");
+    group.sample_size(20);
+    // The motivating example.
+    let s = problem_dept();
+    group.bench_function("problem_dept", |b| {
+        b.iter(|| {
+            let mut memo = Memo::new();
+            let root = memo.insert_tree(&s.tree);
+            memo.set_root(root);
+            black_box(explore(&mut memo, &s.catalog).expect("exploration"))
+        })
+    });
+    // Join chains of growing length.
+    for n in [3usize, 4, 5] {
+        let s = join_chain(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| {
+                let mut memo = Memo::new();
+                let root = memo.insert_tree(&s.tree);
+                memo.set_root(root);
+                black_box(explore(&mut memo, &s.catalog).expect("exploration"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo/extract");
+    let s = join_chain(4);
+    group.bench_function("count_trees_chain4", |b| {
+        b.iter(|| black_box(s.memo.count_trees(s.root)))
+    });
+    group.bench_function("extract_64_chain4", |b| {
+        b.iter(|| black_box(s.memo.extract_trees(s.root, 64).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Regenerate the paper's figures:
+//!
+//! * F1 — the two equivalent expression trees for ProblemDept (Figure 1).
+//! * F2 — the expression DAG with the paper's N/E numbering (Figure 2),
+//!   plus Graphviz output.
+//! * F3 — the ADeptsStatus trees (Figure 3) — see also `paper_tables --table f3`.
+//! * F5 — the articulation-node example (Figure 5).
+//!
+//! ```text
+//! cargo run -p spacetime-bench --release --bin paper_figures [--figure f1|f2|f3|f5] [--dot]
+//! ```
+
+use spacetime_algebra::OpKind;
+use spacetime_bench::scenarios::{adepts_status, figure5, paper_names, problem_dept};
+use spacetime_memo::dot::{render_text, to_dot};
+
+fn f1() {
+    let s = problem_dept();
+    println!("== F1: two equivalent expression trees for ProblemDept ==\n");
+    println!(
+        "tree A (as written, aggregate above the join):\n{}",
+        s.tree.render()
+    );
+    // Find the eager-aggregation alternative: an op in the root's child
+    // group that is not the original aggregate.
+    let names = paper_names(&s.memo, s.root);
+    let n3 = names.iter().find(|(_, n)| *n == "N3").map(|&(g, _)| g);
+    if let Some(n3) = n3 {
+        println!(
+            "tree B's SumOfSals building block (the paper's N3):\n{}",
+            s.memo.extract_one(n3).render()
+        );
+    }
+    // Extract a tree of the root that routes through N3.
+    for t in s.memo.extract_trees(s.root, 64) {
+        let has_agg_over_emp = t.render().to_string().contains("BY Emp.DName)");
+        if has_agg_over_emp {
+            println!("tree B (aggregate pushed below the join):\n{}", t.render());
+            break;
+        }
+    }
+}
+
+fn f2(dot: bool) {
+    let s = problem_dept();
+    println!("== F2: the expression DAG for ProblemDept ==\n");
+    println!("{}", render_text(&s.memo, s.root));
+    let names = paper_names(&s.memo, s.root);
+    println!("paper node mapping:");
+    for (g, n) in names {
+        let label = s
+            .memo
+            .group_ops(g)
+            .first()
+            .map(|&o| {
+                let kids: Vec<_> = s
+                    .memo
+                    .op_children(o)
+                    .iter()
+                    .map(|&c| s.memo.schema(c))
+                    .collect();
+                s.memo.op(o).op.describe(&kids.to_vec())
+            })
+            .unwrap_or_default();
+        println!("  {n} = group {g} ({label})");
+    }
+    println!(
+        "\nequivalence nodes: {}, operation nodes: {}, distinct trees: {}",
+        s.memo.group_count(),
+        s.memo.op_count(),
+        s.memo.count_trees(s.root)
+    );
+    if dot {
+        println!("\n{}", to_dot(&s.memo, s.root));
+    }
+}
+
+fn f3() {
+    let s = adepts_status();
+    println!("== F3: ADeptsStatus (Example 3.1 / Figure 3) ==\n");
+    println!("query-optimization-shaped tree:\n{}", s.tree.render());
+    println!("(run `paper_tables --table f3` for the optimizer's choice)");
+}
+
+fn f5(dot: bool) {
+    let s = figure5();
+    println!("== F5: articulation node at the aggregation (Figure 5) ==\n");
+    println!("{}", s.tree.render());
+    let arts = spacetime_memo::articulation_groups(&s.memo, s.root);
+    println!("articulation equivalence nodes:");
+    for g in &arts {
+        let is_agg = s
+            .memo
+            .group_ops(*g)
+            .iter()
+            .any(|&o| matches!(s.memo.op(o).op, OpKind::Aggregate { .. }));
+        println!(
+            "  {g} [{}]{}",
+            s.memo.schema(*g),
+            if is_agg { "  <- the aggregation" } else { "" }
+        );
+    }
+    if dot {
+        println!("\n{}", to_dot(&s.memo, s.root));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dot = args.iter().any(|a| a == "--dot");
+    let which = args
+        .iter()
+        .position(|a| a == "--figure")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_ascii_lowercase());
+    match which.as_deref() {
+        Some("f1") => f1(),
+        Some("f2") => f2(dot),
+        Some("f3") => f3(),
+        Some("f5") => f5(dot),
+        Some(other) => {
+            eprintln!("unknown figure `{other}`");
+            std::process::exit(2);
+        }
+        None => {
+            f1();
+            println!();
+            f2(dot);
+            println!();
+            f3();
+            println!();
+            f5(dot);
+        }
+    }
+}

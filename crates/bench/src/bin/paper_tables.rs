@@ -1,0 +1,63 @@
+//! Regenerate every cost table of the paper's evaluation (§3.6), the
+//! headline claim, and the §3/§5 shape experiments.
+//!
+//! ```text
+//! cargo run -p spacetime-bench --release --bin paper_tables [--table t1|t2|t3|t4|h1|espj|eheur|f3|f5]
+//! ```
+
+use std::io::Write as _;
+
+use spacetime_bench::tables::{
+    all_table_sections, eheur_strategies, espj_enumeration, f3_adepts_status, f5_articulation,
+    h1_headline, t1_query_costs, t2_maintenance_costs, t3_track_costs, t4_combined_costs,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_ascii_lowercase());
+
+    let sections = match which.as_deref() {
+        Some("t1") => vec![t1_query_costs()],
+        Some("t2") => vec![t2_maintenance_costs()],
+        Some("t3") => vec![t3_track_costs()],
+        Some("t4") => vec![t4_combined_costs()],
+        Some("h1") => vec![h1_headline()],
+        Some("espj") => vec![espj_enumeration()],
+        Some("eheur") => vec![eheur_strategies()],
+        Some("f3") => vec![f3_adepts_status()],
+        Some("f5") => vec![f5_articulation()],
+        Some(other) => {
+            eprintln!("unknown table `{other}`");
+            std::process::exit(2);
+        }
+        None => {
+            let mut all = all_table_sections();
+            all.push(f3_adepts_status());
+            all.push(f5_articulation());
+            all
+        }
+    };
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let mut mismatches = 0;
+    writeln!(
+        lock,
+        "Ross, Srivastava & Sudarshan (SIGMOD '96) — regenerated evaluation\n"
+    )
+    .expect("stdout");
+    for s in &sections {
+        writeln!(lock, "{}", s.render()).expect("stdout");
+        if s.matches_paper == Some(false) {
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("{mismatches} section(s) deviate from the paper");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Transaction types (§3.2).
+//!
+//! > *"We assume a set of transaction types T₁, T₂, …, Tₙ that can update
+//! > the database, where each transaction type defines the relations that
+//! > are updated, the kinds of updates (insertions, deletions,
+//! > modifications) to the relations, and the size of the update to each
+//! > of the relations. We also assume that each of the transaction types
+//! > Tᵢ has an associated weight fᵢ."*
+
+use std::fmt;
+
+/// The kind of update a transaction applies to a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// Tuples inserted.
+    Insert,
+    /// Tuples deleted.
+    Delete,
+    /// Tuples modified in place (non-key columns).
+    Modify,
+}
+
+impl fmt::Display for UpdateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateKind::Insert => write!(f, "insert"),
+            UpdateKind::Delete => write!(f, "delete"),
+            UpdateKind::Modify => write!(f, "modify"),
+        }
+    }
+}
+
+/// One relation's update within a transaction type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableUpdate {
+    /// The updated base relation.
+    pub table: String,
+    /// Insert/delete/modify.
+    pub kind: UpdateKind,
+    /// Expected number of tuples touched per transaction.
+    pub size: f64,
+}
+
+/// A transaction type with its workload weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransactionType {
+    /// Display name (e.g. the paper's `>Emp`).
+    pub name: String,
+    /// Updated relations.
+    pub updates: Vec<TableUpdate>,
+    /// Relative frequency / importance `fᵢ`.
+    pub weight: f64,
+}
+
+impl TransactionType {
+    /// A transaction modifying `size` tuples of one relation.
+    pub fn modify(name: impl Into<String>, table: impl Into<String>, size: f64) -> Self {
+        Self::single(name, table, UpdateKind::Modify, size)
+    }
+
+    /// A transaction inserting `size` tuples into one relation.
+    pub fn insert(name: impl Into<String>, table: impl Into<String>, size: f64) -> Self {
+        Self::single(name, table, UpdateKind::Insert, size)
+    }
+
+    /// A transaction deleting `size` tuples from one relation.
+    pub fn delete(name: impl Into<String>, table: impl Into<String>, size: f64) -> Self {
+        Self::single(name, table, UpdateKind::Delete, size)
+    }
+
+    fn single(
+        name: impl Into<String>,
+        table: impl Into<String>,
+        kind: UpdateKind,
+        size: f64,
+    ) -> Self {
+        TransactionType {
+            name: name.into(),
+            updates: vec![TableUpdate {
+                table: table.into(),
+                kind,
+                size,
+            }],
+            weight: 1.0,
+        }
+    }
+
+    /// Builder: set the weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Builder: add another relation update.
+    pub fn and_update(mut self, table: impl Into<String>, kind: UpdateKind, size: f64) -> Self {
+        self.updates.push(TableUpdate {
+            table: table.into(),
+            kind,
+            size,
+        });
+        self
+    }
+
+    /// Names of the updated tables.
+    pub fn updated_tables(&self) -> Vec<&str> {
+        self.updates.iter().map(|u| u.table.as_str()).collect()
+    }
+
+    /// The update entry for one table, if any.
+    pub fn update_for(&self, table: &str) -> Option<&TableUpdate> {
+        self.updates.iter().find(|u| u.table == table)
+    }
+}
+
+/// The weighted-average combination of per-transaction costs (§3.5):
+/// `C(V) = Σᵢ C(V,Tᵢ)·fᵢ / Σᵢ fᵢ`.
+pub fn weighted_average(costs_and_weights: &[(f64, f64)]) -> f64 {
+    let total_weight: f64 = costs_and_weights.iter().map(|(_, w)| w).sum();
+    if total_weight == 0.0 {
+        return 0.0;
+    }
+    costs_and_weights.iter().map(|(c, w)| c * w).sum::<f64>() / total_weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let t = TransactionType::modify(">Emp", "Emp", 1.0)
+            .with_weight(3.0)
+            .and_update("Dept", UpdateKind::Delete, 2.0);
+        assert_eq!(t.updates.len(), 2);
+        assert_eq!(t.weight, 3.0);
+        assert_eq!(t.updated_tables(), vec!["Emp", "Dept"]);
+        assert_eq!(t.update_for("Dept").unwrap().kind, UpdateKind::Delete);
+        assert!(t.update_for("Nope").is_none());
+    }
+
+    #[test]
+    fn paper_headline_average() {
+        // Strategy (b): 5 for >Emp, 2 for >Dept, equal weights → 3.5.
+        assert_eq!(weighted_average(&[(5.0, 1.0), (2.0, 1.0)]), 3.5);
+        // Strategy (a): 13 and 11 → 12.
+        assert_eq!(weighted_average(&[(13.0, 1.0), (11.0, 1.0)]), 12.0);
+    }
+
+    #[test]
+    fn weighted_average_handles_uneven_weights() {
+        assert_eq!(weighted_average(&[(10.0, 1.0), (0.0, 3.0)]), 2.5);
+        assert_eq!(weighted_average(&[]), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Applying deltas to storage.
+//!
+//! [`apply_to_relation`] performs the physical updates and therefore incurs
+//! the paper's *"cost of performing updates to V"* (§3.4): per touched
+//! tuple, index page reads (and writes when a key changes), a data page
+//! read of the old value and a data page write of the new value — charged
+//! by [`Relation`]'s mutation methods.
+
+use spacetime_storage::{Bag, IoMeter, Relation, StorageResult};
+
+use crate::delta::Delta;
+
+/// Apply a delta to a stored relation, charging maintenance I/O to `io`.
+///
+/// Order matters for bag correctness: deletions and modification removals
+/// happen before insertions, so a delta that moves `n` copies between
+/// identical tuples round-trips.
+pub fn apply_to_relation(delta: &Delta, rel: &mut Relation, io: &mut IoMeter) -> StorageResult<()> {
+    for (t, c) in delta.deletes.iter() {
+        rel.delete(t, c, io)?;
+    }
+    for m in &delta.modifies {
+        rel.modify(&m.old, m.new.clone(), m.count, io)?;
+    }
+    for (t, c) in delta.inserts.iter() {
+        rel.insert(t.clone(), c, io)?;
+    }
+    Ok(())
+}
+
+/// Apply a delta to an in-memory bag (verification oracle).
+pub fn apply_to_bag(delta: &Delta, bag: &mut Bag) -> StorageResult<()> {
+    delta.apply_to(bag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::Delta;
+    use spacetime_storage::{tuple, DataType, Schema};
+
+    fn sum_of_sals_relation() -> Relation {
+        let mut r = Relation::new(
+            "SumOfSals",
+            Schema::of_table(
+                "SumOfSals",
+                &[("DName", DataType::Str), ("SalSum", DataType::Int)],
+            ),
+        );
+        r.create_index(vec![0]).unwrap();
+        let mut io = IoMeter::new();
+        for d in 0..3 {
+            r.insert(tuple![format!("dept{d}"), 100 * d], 1, &mut io)
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn modify_charges_paper_maintenance_cost() {
+        // The paper's N3 arithmetic: modifying one SumOfSals tuple costs
+        // 3 page I/Os (1 index read + 1 data read + 1 data write).
+        let mut r = sum_of_sals_relation();
+        let d = Delta::modify(tuple!["dept1", 100], tuple!["dept1", 130], 1);
+        let mut io = IoMeter::new();
+        apply_to_relation(&d, &mut r, &mut io).unwrap();
+        assert_eq!(io.total(), 3);
+    }
+
+    #[test]
+    fn mixed_delta_applies_in_safe_order() {
+        let mut r = sum_of_sals_relation();
+        let mut d = Delta::delete(tuple!["dept0", 0], 1);
+        d.inserts.insert(tuple!["dept9", 900], 1);
+        d.push_modify(tuple!["dept2", 200], tuple!["dept2", 250], 1);
+        let mut io = IoMeter::new();
+        apply_to_relation(&d, &mut r, &mut io).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.data().contains(&tuple!["dept9", 900]));
+        assert!(r.data().contains(&tuple!["dept2", 250]));
+        assert!(!r.data().contains(&tuple!["dept0", 0]));
+    }
+
+    #[test]
+    fn apply_failure_reports_missing_tuple() {
+        let mut r = sum_of_sals_relation();
+        let d = Delta::delete(tuple!["ghost", 1], 1);
+        let mut io = IoMeter::new();
+        assert!(apply_to_relation(&d, &mut r, &mut io).is_err());
+    }
+
+    #[test]
+    fn bag_and_relation_agree() {
+        let mut r = sum_of_sals_relation();
+        let mut bag = r.data().clone();
+        let d = Delta::modify(tuple!["dept1", 100], tuple!["dept1", 101], 1);
+        let mut io = IoMeter::new();
+        apply_to_relation(&d, &mut r, &mut io).unwrap();
+        apply_to_bag(&d, &mut bag).unwrap();
+        assert_eq!(&bag, r.data());
+    }
+}

@@ -1,0 +1,984 @@
+//! Per-operator delta propagation.
+//!
+//! [`propagate`] computes the output delta of one operator node from a
+//! delta on **one** of its inputs, posing queries on the other inputs via
+//! [`InputAccess`] — the §2.2 model:
+//!
+//! > *"Consider a node N for the operation E₁ ⋈ E₂, and suppose an update
+//! > ΔE₁ is propagated up to node N. … a query has to be posed to E₂ asking
+//! > for all tuples that match ΔE₁ on the join attributes … When E₂ is a
+//! > database relation, or a materialized view, a lookup is sufficient; in
+//! > general, the query must be evaluated."*
+//!
+//! The rules assume **sequential propagation**: a transaction that updates
+//! several base relations propagates one relation's delta at a time (states
+//! are updated between propagations), so at any moment exactly one child of
+//! a binary node carries a delta. `InputAccess::matching` must answer with
+//! the *pre-update* state of the queried input.
+//!
+//! The aggregate rule realizes the paper's three costing regimes:
+//!
+//! 1. **Group-complete delta** ([`InputAccess::group_complete`]): the delta
+//!    provably contains every tuple of each affected group (the Q3d
+//!    key-elimination of §3.6) — no query at all.
+//! 2. **Self-maintainable update**: no deletions, invertible aggregates,
+//!    and the node's own output is materialized — the old row is read from
+//!    the materialization and adjusted ("subtracting … and adding", §1);
+//!    no input query (Q4e is not posed when N3 is materialized).
+//! 3. **Input re-query**: otherwise, fetch the affected group's old tuples
+//!    from the input (Q4e's 11 page I/Os when N3 is not materialized).
+
+use std::collections::BTreeMap;
+
+use spacetime_algebra::eval::aggregate_bag;
+use spacetime_algebra::{AggExpr, AggFunc, ExprNode, JoinCondition, OpKind, ScalarExpr};
+use spacetime_storage::{Bag, StorageError, StorageResult, Tuple, Value};
+
+use crate::delta::{Delta, Modify};
+
+/// How the propagation rules read the (old) states they need.
+pub trait InputAccess {
+    /// Tuples of input `child` whose `cols` project to `key`, in the
+    /// pre-update state. This is the paper's "query posed on an equivalence
+    /// node"; implementations charge lookup or evaluation cost as
+    /// appropriate.
+    fn matching(&mut self, child: usize, cols: &[usize], key: &[Value]) -> StorageResult<Bag>;
+
+    /// The node's own old output rows whose `cols` project to `key`, *if*
+    /// the node's output is materialized; `None` when it is not.
+    fn self_rows(&mut self, cols: &[usize], key: &[Value]) -> StorageResult<Option<Bag>>;
+
+    /// Whether the arriving delta is known to contain *all* tuples of every
+    /// group it touches, w.r.t. the given grouping columns (established by
+    /// key analysis on the update track; enables query-free maintenance).
+    fn group_complete(&self, cols: &[usize]) -> bool {
+        let _ = cols;
+        false
+    }
+}
+
+/// [`InputAccess`] over in-memory bags: children's old states held
+/// directly, queries answered by filtering. Used by tests and by the
+/// verification oracle; it also counts the queries it answers, so tests can
+/// assert *which* queries a strategy poses (the paper's "Q4e is not posed"
+/// checks).
+#[derive(Debug, Default)]
+pub struct BagAccess {
+    /// Old state of each input.
+    pub children: Vec<Bag>,
+    /// Old output, if the node is materialized.
+    pub self_output: Option<Bag>,
+    /// Whether deltas are group-complete (see trait).
+    pub complete: bool,
+    /// Number of `matching` queries answered.
+    pub queries_posed: usize,
+}
+
+impl BagAccess {
+    /// Access over the given input states, not materialized.
+    pub fn new(children: Vec<Bag>) -> Self {
+        BagAccess {
+            children,
+            ..Default::default()
+        }
+    }
+
+    /// Access with the node's own output materialized.
+    pub fn materialized(children: Vec<Bag>, self_output: Bag) -> Self {
+        BagAccess {
+            children,
+            self_output: Some(self_output),
+            ..Default::default()
+        }
+    }
+}
+
+fn filter_by_key(bag: &Bag, cols: &[usize], key: &[Value]) -> Bag {
+    bag.iter()
+        .filter(|(t, _)| {
+            cols.iter()
+                .zip(key)
+                .all(|(&c, kv)| t.get(c).map_or(kv.is_null(), |v| v == kv))
+        })
+        .map(|(t, c)| (t.clone(), c))
+        .collect()
+}
+
+impl InputAccess for BagAccess {
+    fn matching(&mut self, child: usize, cols: &[usize], key: &[Value]) -> StorageResult<Bag> {
+        self.queries_posed += 1;
+        Ok(filter_by_key(&self.children[child], cols, key))
+    }
+
+    fn self_rows(&mut self, cols: &[usize], key: &[Value]) -> StorageResult<Option<Bag>> {
+        Ok(self
+            .self_output
+            .as_ref()
+            .map(|b| filter_by_key(b, cols, key)))
+    }
+
+    fn group_complete(&self, _cols: &[usize]) -> bool {
+        self.complete
+    }
+}
+
+/// Compute the output delta of `node` given `delta` arriving on input
+/// `delta_child` (0 for unary operators).
+pub fn propagate(
+    node: &ExprNode,
+    delta_child: usize,
+    delta: &Delta,
+    access: &mut dyn InputAccess,
+) -> StorageResult<Delta> {
+    if delta.is_empty() {
+        return Ok(Delta::new());
+    }
+    match &node.op {
+        OpKind::Scan { .. } => Ok(delta.clone()),
+        OpKind::Select { predicate } => propagate_select(predicate, delta),
+        OpKind::Project { exprs } => propagate_project(exprs, delta),
+        OpKind::Join { condition } => propagate_join(condition, delta_child, delta, access),
+        OpKind::Aggregate { group_by, aggs } => propagate_aggregate(group_by, aggs, delta, access),
+        OpKind::Distinct => propagate_distinct(node.schema.arity(), delta, access),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Select
+// ---------------------------------------------------------------------
+
+fn propagate_select(predicate: &ScalarExpr, delta: &Delta) -> StorageResult<Delta> {
+    let mut out = Delta::new();
+    for (t, c) in delta.inserts.iter() {
+        if predicate.eval_predicate(t)? {
+            out.inserts.insert(t.clone(), c);
+        }
+    }
+    for (t, c) in delta.deletes.iter() {
+        if predicate.eval_predicate(t)? {
+            out.deletes.insert(t.clone(), c);
+        }
+    }
+    for m in &delta.modifies {
+        match (
+            predicate.eval_predicate(&m.old)?,
+            predicate.eval_predicate(&m.new)?,
+        ) {
+            (true, true) => out.push_modify(m.old.clone(), m.new.clone(), m.count),
+            (true, false) => out.deletes.insert(m.old.clone(), m.count),
+            (false, true) => out.inserts.insert(m.new.clone(), m.count),
+            (false, false) => {}
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------
+
+fn propagate_project(exprs: &[(ScalarExpr, String)], delta: &Delta) -> StorageResult<Delta> {
+    let apply = |t: &Tuple| -> StorageResult<Tuple> {
+        Ok(exprs
+            .iter()
+            .map(|(e, _)| e.eval(t))
+            .collect::<StorageResult<Vec<Value>>>()?
+            .into())
+    };
+    let mut out = Delta::new();
+    for (t, c) in delta.inserts.iter() {
+        out.inserts.insert(apply(t)?, c);
+    }
+    for (t, c) in delta.deletes.iter() {
+        out.deletes.insert(apply(t)?, c);
+    }
+    for m in &delta.modifies {
+        // `push_modify` drops pairs the projection made identical.
+        out.push_modify(apply(&m.old)?, apply(&m.new)?, m.count);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------
+
+fn key_of(t: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(cols.len());
+    for &c in cols {
+        let v = t.get(c).cloned().unwrap_or(Value::Null);
+        if v.is_null() {
+            return None; // NULL never joins
+        }
+        key.push(v);
+    }
+    Some(key)
+}
+
+fn propagate_join(
+    condition: &JoinCondition,
+    delta_child: usize,
+    delta: &Delta,
+    access: &mut dyn InputAccess,
+) -> StorageResult<Delta> {
+    debug_assert!(delta_child < 2, "join has two inputs");
+    let (my_cols, other_cols) = if delta_child == 0 {
+        (condition.left_cols(), condition.right_cols())
+    } else {
+        (condition.right_cols(), condition.left_cols())
+    };
+    let other_child = 1 - delta_child;
+    // Keep modifications paired only when their join key is unchanged.
+    let d = delta.split_modifies_on(&my_cols);
+
+    let concat = |mine: &Tuple, other: &Tuple| -> Tuple {
+        if delta_child == 0 {
+            mine.concat(other)
+        } else {
+            other.concat(mine)
+        }
+    };
+    let residual_ok = |joined: &Tuple| -> StorageResult<bool> {
+        match &condition.residual {
+            Some(r) => r.eval_predicate(joined),
+            None => Ok(true),
+        }
+    };
+
+    let mut out = Delta::new();
+    // Cache lookups per key: one query per distinct key, as the paper's
+    // cost tables assume.
+    let mut cache: BTreeMap<Vec<Value>, Bag> = BTreeMap::new();
+    let mut lookup = |key: &Vec<Value>, access: &mut dyn InputAccess| -> StorageResult<Bag> {
+        if let Some(hit) = cache.get(key) {
+            return Ok(hit.clone());
+        }
+        let b = access.matching(other_child, &other_cols, key)?;
+        cache.insert(key.clone(), b.clone());
+        Ok(b)
+    };
+
+    for (t, c) in d.inserts.iter() {
+        let Some(key) = key_of(t, &my_cols) else {
+            continue;
+        };
+        for (o, oc) in lookup(&key, access)?.iter() {
+            let joined = concat(t, o);
+            if residual_ok(&joined)? {
+                out.inserts.insert(joined, c * oc);
+            }
+        }
+    }
+    for (t, c) in d.deletes.iter() {
+        let Some(key) = key_of(t, &my_cols) else {
+            continue;
+        };
+        for (o, oc) in lookup(&key, access)?.iter() {
+            let joined = concat(t, o);
+            if residual_ok(&joined)? {
+                out.deletes.insert(joined, c * oc);
+            }
+        }
+    }
+    for m in &d.modifies {
+        let Some(key) = key_of(&m.old, &my_cols) else {
+            continue;
+        };
+        for (o, oc) in lookup(&key, access)?.iter() {
+            let old_j = concat(&m.old, o);
+            let new_j = concat(&m.new, o);
+            match (residual_ok(&old_j)?, residual_ok(&new_j)?) {
+                (true, true) => out.push_modify(old_j, new_j, m.count * oc),
+                (true, false) => out.deletes.insert(old_j, m.count * oc),
+                (false, true) => out.inserts.insert(new_j, m.count * oc),
+                (false, false) => {}
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Aggregate
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct GroupDelta {
+    ins: Bag,
+    del: Bag,
+    mods: Vec<Modify>,
+}
+
+fn propagate_aggregate(
+    group_by: &[usize],
+    aggs: &[AggExpr],
+    delta: &Delta,
+    access: &mut dyn InputAccess,
+) -> StorageResult<Delta> {
+    // Modifications that move a tuple between groups become
+    // delete-from-old-group + insert-into-new-group.
+    let d = delta.split_modifies_on(group_by);
+
+    let mut groups: BTreeMap<Vec<Value>, GroupDelta> = BTreeMap::new();
+    let key_of_t = |t: &Tuple| -> Vec<Value> {
+        group_by
+            .iter()
+            .map(|&c| t.get(c).cloned().unwrap_or(Value::Null))
+            .collect()
+    };
+    for (t, c) in d.inserts.iter() {
+        groups
+            .entry(key_of_t(t))
+            .or_default()
+            .ins
+            .insert(t.clone(), c);
+    }
+    for (t, c) in d.deletes.iter() {
+        groups
+            .entry(key_of_t(t))
+            .or_default()
+            .del
+            .insert(t.clone(), c);
+    }
+    for m in &d.modifies {
+        groups
+            .entry(key_of_t(&m.old))
+            .or_default()
+            .mods
+            .push(m.clone());
+    }
+
+    let self_cols: Vec<usize> = (0..group_by.len()).collect();
+    let mut out = Delta::new();
+    for (key, gd) in &groups {
+        let (old_row, new_row) = group_rows(group_by, aggs, key, gd, &self_cols, access)?;
+        match (old_row, new_row) {
+            (None, None) => {}
+            (None, Some(n)) => out.inserts.insert(n, 1),
+            (Some(o), None) => out.deletes.insert(o, 1),
+            (Some(o), Some(n)) => out.push_modify(o, n, 1),
+        }
+    }
+    Ok(out)
+}
+
+fn group_rows(
+    group_by: &[usize],
+    aggs: &[AggExpr],
+    key: &[Value],
+    gd: &GroupDelta,
+    self_cols: &[usize],
+    access: &mut dyn InputAccess,
+) -> StorageResult<(Option<Tuple>, Option<Tuple>)> {
+    // Regime 1: the delta contains the whole group — no query at all.
+    if access.group_complete(group_by) {
+        let mut old_group = gd.del.clone();
+        let mut new_group = gd.ins.clone();
+        for m in &gd.mods {
+            old_group.insert(m.old.clone(), m.count);
+            new_group.insert(m.new.clone(), m.count);
+        }
+        let old_row = agg_single_row(&old_group, group_by, aggs)?;
+        let new_row = agg_single_row(&new_group, group_by, aggs)?;
+        return Ok((old_row, new_row));
+    }
+
+    // Regime 2: self-maintainable from the node's own materialization.
+    let invertible_shape = gd.del.is_empty()
+        && aggs.iter().all(|a| match a.func {
+            AggFunc::Sum | AggFunc::Count => true,
+            AggFunc::Min | AggFunc::Max => gd.mods.is_empty(), // insert-only
+            AggFunc::Avg => false,
+        });
+    if invertible_shape {
+        if let Some(rows) = access.self_rows(self_cols, key)? {
+            let old_row = rows.iter().next().map(|(t, _)| t.clone());
+            match old_row {
+                Some(old) => {
+                    let new = adjust_row(&old, group_by, aggs, gd)?;
+                    return Ok((Some(old), Some(new)));
+                }
+                None if gd.mods.is_empty() => {
+                    // A brand-new group built entirely from inserts.
+                    let new_row = agg_single_row(&gd.ins, group_by, aggs)?;
+                    return Ok((None, new_row));
+                }
+                None => {
+                    return Err(StorageError::TupleNotFound {
+                        relation: "<materialized aggregate group>".into(),
+                    })
+                }
+            }
+        }
+    }
+
+    // Regime 3: re-query the input for the group's old contents.
+    let old_group = access.matching(0, group_by, key)?;
+    let mut new_group = old_group.clone();
+    for (t, c) in gd.del.iter() {
+        new_group.remove(t, c)?;
+    }
+    for m in &gd.mods {
+        new_group.remove(&m.old, m.count)?;
+    }
+    for m in &gd.mods {
+        new_group.insert(m.new.clone(), m.count);
+    }
+    for (t, c) in gd.ins.iter() {
+        new_group.insert(t.clone(), c);
+    }
+    let old_row = agg_single_row(&old_group, group_by, aggs)?;
+    let new_row = agg_single_row(&new_group, group_by, aggs)?;
+    Ok((old_row, new_row))
+}
+
+/// Aggregate one group's tuples into its (single) output row, or `None`
+/// for an empty group.
+fn agg_single_row(
+    group: &Bag,
+    group_by: &[usize],
+    aggs: &[AggExpr],
+) -> StorageResult<Option<Tuple>> {
+    if group.is_empty() {
+        return Ok(None);
+    }
+    let rows = aggregate_bag(group, group_by, aggs)?;
+    debug_assert_eq!(rows.distinct_len(), 1, "one group in, one row out");
+    let row = rows.iter().next().map(|(t, _)| t.clone());
+    Ok(row)
+}
+
+/// Apply an invertible (insert/modify-only) delta to a materialized
+/// aggregate row: the paper's "adding to or subtracting from the previous
+/// aggregate values".
+fn adjust_row(
+    old: &Tuple,
+    group_by: &[usize],
+    aggs: &[AggExpr],
+    gd: &GroupDelta,
+) -> StorageResult<Tuple> {
+    let mut values: Vec<Value> = old.values().to_vec();
+    for (i, agg) in aggs.iter().enumerate() {
+        let pos = group_by.len() + i;
+        let current = values[pos].clone();
+        values[pos] = match agg.func {
+            AggFunc::Sum => {
+                let mut running = if current.is_null() {
+                    None
+                } else {
+                    Some(current)
+                };
+                for (t, c) in gd.ins.iter() {
+                    accumulate(&mut running, agg, t, c as i64)?;
+                }
+                for m in &gd.mods {
+                    accumulate(&mut running, agg, &m.new, m.count as i64)?;
+                    accumulate(&mut running, agg, &m.old, -(m.count as i64))?;
+                }
+                running.unwrap_or(Value::Null)
+            }
+            AggFunc::Count => {
+                let mut n = match current {
+                    Value::Int(n) => n,
+                    other => {
+                        return Err(StorageError::TypeError(format!(
+                            "COUNT column held {other}"
+                        )))
+                    }
+                };
+                for (t, c) in gd.ins.iter() {
+                    if arg_non_null(agg, t)? {
+                        n += c as i64;
+                    }
+                }
+                for m in &gd.mods {
+                    let was = arg_non_null(agg, &m.old)?;
+                    let is = arg_non_null(agg, &m.new)?;
+                    n += (is as i64 - was as i64) * m.count as i64;
+                }
+                Value::Int(n)
+            }
+            AggFunc::Min | AggFunc::Max => {
+                // Insert-only (guaranteed by the caller's shape check).
+                let mut best = if current.is_null() {
+                    None
+                } else {
+                    Some(current)
+                };
+                for (t, _) in gd.ins.iter() {
+                    if let Some(arg) = eval_arg(agg, t)? {
+                        let better = match (&best, agg.func) {
+                            (None, _) => true,
+                            (Some(b), AggFunc::Min) => arg < *b,
+                            (Some(b), AggFunc::Max) => arg > *b,
+                            _ => unreachable!(),
+                        };
+                        if better {
+                            best = Some(arg);
+                        }
+                    }
+                }
+                best.unwrap_or(Value::Null)
+            }
+            AggFunc::Avg => unreachable!("AVG never takes the invertible path"),
+        };
+    }
+    Ok(Tuple::new(values))
+}
+
+fn eval_arg(agg: &AggExpr, t: &Tuple) -> StorageResult<Option<Value>> {
+    match &agg.arg {
+        Some(e) => {
+            let v = e.eval(t)?;
+            Ok(if v.is_null() { None } else { Some(v) })
+        }
+        None => Ok(None),
+    }
+}
+
+fn arg_non_null(agg: &AggExpr, t: &Tuple) -> StorageResult<bool> {
+    match &agg.arg {
+        Some(e) => Ok(!e.eval(t)?.is_null()),
+        None => Ok(true), // COUNT(*)
+    }
+}
+
+fn accumulate(
+    running: &mut Option<Value>,
+    agg: &AggExpr,
+    t: &Tuple,
+    signed_count: i64,
+) -> StorageResult<()> {
+    if let Some(arg) = eval_arg(agg, t)? {
+        let contribution = arg.mul(&Value::Int(signed_count))?;
+        *running = Some(match running.take() {
+            Some(r) => r.add(&contribution)?,
+            None => contribution,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Distinct
+// ---------------------------------------------------------------------
+
+fn propagate_distinct(
+    arity: usize,
+    delta: &Delta,
+    access: &mut dyn InputAccess,
+) -> StorageResult<Delta> {
+    let all_cols: Vec<usize> = (0..arity).collect();
+    let mut out = Delta::new();
+    for (t, signed) in delta.net() {
+        let key: Vec<Value> = t.values().to_vec();
+        let old_count = access.matching(0, &all_cols, &key)?.len() as i64;
+        let new_count = old_count + signed;
+        if new_count < 0 {
+            return Err(StorageError::TupleNotFound {
+                relation: "<distinct input>".into(),
+            });
+        }
+        match (old_count > 0, new_count > 0) {
+            (false, true) => out.inserts.insert(t, 1),
+            (true, false) => out.deletes.insert(t, 1),
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacetime_algebra::eval::eval_uncharged;
+    use spacetime_algebra::scalar::CmpOp;
+    use spacetime_storage::{tuple, Catalog, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "Emp",
+            Schema::of_table(
+                "Emp",
+                &[
+                    ("EName", DataType::Str),
+                    ("DName", DataType::Str),
+                    ("Salary", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat.create_table(
+            "Dept",
+            Schema::of_table(
+                "Dept",
+                &[
+                    ("DName", DataType::Str),
+                    ("MName", DataType::Str),
+                    ("Budget", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn emp_bag() -> Bag {
+        [
+            (tuple!["alice", "Sales", 100], 1),
+            (tuple!["bob", "Sales", 80], 1),
+            (tuple!["carol", "Eng", 120], 1),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn dept_bag() -> Bag {
+        [
+            (tuple!["Sales", "mary", 150], 1),
+            (tuple!["Eng", "nick", 200], 1),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Oracle check: new_output(op over updated inputs) ==
+    /// old_output + propagated delta.
+    fn check_against_recompute(
+        node: &ExprNode,
+        cat: &Catalog,
+        child_bags: Vec<Bag>,
+        delta_child: usize,
+        delta: &Delta,
+        materialized_self: bool,
+    ) {
+        // Load old states into a fresh catalog so eval sees them.
+        let mut cat2 = cat.clone();
+        for (i, name) in node.leaf_tables().iter().enumerate() {
+            cat2.table_mut(name)
+                .unwrap()
+                .relation
+                .load(child_bags[i].clone())
+                .unwrap();
+        }
+        let old_out = eval_uncharged(node, &cat2).unwrap();
+
+        let mut access = if materialized_self {
+            BagAccess::materialized(child_bags.clone(), old_out.clone())
+        } else {
+            BagAccess::new(child_bags.clone())
+        };
+        let d_out = propagate(node, delta_child, delta, &mut access).unwrap();
+
+        // Apply the child delta and recompute.
+        let mut new_children = child_bags;
+        delta.apply_to(&mut new_children[delta_child]).unwrap();
+        for (i, name) in node.leaf_tables().iter().enumerate() {
+            cat2.table_mut(name)
+                .unwrap()
+                .relation
+                .load(new_children[i].clone())
+                .unwrap();
+        }
+        let expect = eval_uncharged(node, &cat2).unwrap();
+
+        let mut got = old_out;
+        d_out.apply_to(&mut got).unwrap();
+        assert_eq!(got, expect, "incremental != recomputed for {node}");
+    }
+
+    #[test]
+    fn select_splits_modifies_by_predicate() {
+        let p = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(2), ScalarExpr::lit(100));
+        let mut d = Delta::new();
+        d.push_modify(tuple!["a", "S", 90], tuple!["a", "S", 120], 1); // enters
+        d.push_modify(tuple!["b", "S", 120], tuple!["b", "S", 90], 1); // leaves
+        d.push_modify(tuple!["c", "S", 110], tuple!["c", "S", 130], 1); // stays
+        d.push_modify(tuple!["d", "S", 50], tuple!["d", "S", 60], 1); // never in
+        let out = propagate_select(&p, &d).unwrap();
+        assert_eq!(out.inserts.count(&tuple!["a", "S", 120]), 1);
+        assert_eq!(out.deletes.count(&tuple!["b", "S", 120]), 1);
+        assert_eq!(out.modifies.len(), 1);
+        assert_eq!(out.modifies[0].new, tuple!["c", "S", 130]);
+    }
+
+    #[test]
+    fn join_preserves_same_key_modify_pairs() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let dept = ExprNode::scan(&cat, "Dept").unwrap();
+        let j = ExprNode::join_on(emp, dept, &[("Emp.DName", "Dept.DName")]).unwrap();
+        // Salary modification: join key unchanged.
+        let d = Delta::modify(
+            tuple!["alice", "Sales", 100],
+            tuple!["alice", "Sales", 130],
+            1,
+        );
+        let mut access = BagAccess::new(vec![emp_bag(), dept_bag()]);
+        let out = propagate(&j, 0, &d, &mut access).unwrap();
+        assert_eq!(out.modifies.len(), 1);
+        assert!(out.inserts.is_empty() && out.deletes.is_empty());
+        assert_eq!(
+            out.modifies[0].new,
+            tuple!["alice", "Sales", 130, "Sales", "mary", 150]
+        );
+        assert_eq!(access.queries_posed, 1, "one lookup for one key");
+    }
+
+    #[test]
+    fn join_delta_on_right_side() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let dept = ExprNode::scan(&cat, "Dept").unwrap();
+        let j = ExprNode::join_on(emp, dept, &[("Emp.DName", "Dept.DName")]).unwrap();
+        // Budget modification joins with the 2 Sales employees.
+        let d = Delta::modify(
+            tuple!["Sales", "mary", 150],
+            tuple!["Sales", "mary", 170],
+            1,
+        );
+        let mut access = BagAccess::new(vec![emp_bag(), dept_bag()]);
+        let out = propagate(&j, 1, &d, &mut access).unwrap();
+        assert_eq!(out.modifies.len(), 2);
+        check_against_recompute(&j, &cat, vec![emp_bag(), dept_bag()], 1, &d, false);
+    }
+
+    #[test]
+    fn join_key_change_becomes_delete_insert() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let dept = ExprNode::scan(&cat, "Dept").unwrap();
+        let j = ExprNode::join_on(emp, dept, &[("Emp.DName", "Dept.DName")]).unwrap();
+        let d = Delta::modify(
+            tuple!["alice", "Sales", 100],
+            tuple!["alice", "Eng", 100],
+            1,
+        );
+        let mut access = BagAccess::new(vec![emp_bag(), dept_bag()]);
+        let out = propagate(&j, 0, &d, &mut access).unwrap();
+        assert!(out.modifies.is_empty());
+        assert_eq!(out.deletes.len(), 1);
+        assert_eq!(out.inserts.len(), 1);
+        check_against_recompute(&j, &cat, vec![emp_bag(), dept_bag()], 0, &d, false);
+    }
+
+    #[test]
+    fn join_insert_delete_against_recompute() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let dept = ExprNode::scan(&cat, "Dept").unwrap();
+        let j = ExprNode::join_on(emp, dept, &[("Emp.DName", "Dept.DName")]).unwrap();
+        let mut d = Delta::insert(tuple!["dave", "Eng", 70], 1);
+        d.deletes.insert(tuple!["bob", "Sales", 80], 1);
+        check_against_recompute(&j, &cat, vec![emp_bag(), dept_bag()], 0, &d, false);
+    }
+
+    fn sum_of_sals(cat: &Catalog) -> ExprTreeAlias {
+        let emp = ExprNode::scan(cat, "Emp").unwrap();
+        ExprNode::aggregate(
+            emp,
+            vec![1],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(2), "SalSum")],
+        )
+        .unwrap()
+    }
+    type ExprTreeAlias = std::sync::Arc<ExprNode>;
+
+    #[test]
+    fn aggregate_self_maintainable_poses_no_input_query() {
+        let cat = catalog();
+        let agg = sum_of_sals(&cat);
+        let old_out: Bag = [(tuple!["Sales", 180], 1), (tuple!["Eng", 120], 1)]
+            .into_iter()
+            .collect();
+        let d = Delta::modify(
+            tuple!["alice", "Sales", 100],
+            tuple!["alice", "Sales", 130],
+            1,
+        );
+        let mut access = BagAccess::materialized(vec![emp_bag()], old_out);
+        let out = propagate(&agg, 0, &d, &mut access).unwrap();
+        assert_eq!(access.queries_posed, 0, "the paper: Q4e is not posed");
+        assert_eq!(out.modifies.len(), 1);
+        assert_eq!(out.modifies[0].old, tuple!["Sales", 180]);
+        assert_eq!(out.modifies[0].new, tuple!["Sales", 210]);
+    }
+
+    #[test]
+    fn aggregate_not_materialized_queries_input() {
+        let cat = catalog();
+        let agg = sum_of_sals(&cat);
+        let d = Delta::modify(
+            tuple!["alice", "Sales", 100],
+            tuple!["alice", "Sales", 130],
+            1,
+        );
+        let mut access = BagAccess::new(vec![emp_bag()]);
+        let out = propagate(&agg, 0, &d, &mut access).unwrap();
+        assert_eq!(access.queries_posed, 1, "the paper: Q4e is posed");
+        assert_eq!(out.modifies.len(), 1);
+        assert_eq!(out.modifies[0].new, tuple!["Sales", 210]);
+    }
+
+    #[test]
+    fn aggregate_group_complete_poses_no_query() {
+        let cat = catalog();
+        let agg = sum_of_sals(&cat);
+        // Delta contains the entire Sales group (key analysis proved it).
+        let mut d = Delta::new();
+        d.push_modify(
+            tuple!["alice", "Sales", 100],
+            tuple!["alice", "Sales", 130],
+            1,
+        );
+        d.push_modify(tuple!["bob", "Sales", 80], tuple!["bob", "Sales", 90], 1);
+        let mut access = BagAccess::new(vec![emp_bag()]);
+        access.complete = true;
+        let out = propagate(&agg, 0, &d, &mut access).unwrap();
+        assert_eq!(access.queries_posed, 0, "the paper: Q3d generates no I/O");
+        assert_eq!(out.modifies.len(), 1);
+        assert_eq!(out.modifies[0].old, tuple!["Sales", 180]);
+        assert_eq!(out.modifies[0].new, tuple!["Sales", 220]);
+    }
+
+    #[test]
+    fn aggregate_group_appears_and_disappears() {
+        let cat = catalog();
+        let agg = sum_of_sals(&cat);
+        // New department appears.
+        let d = Delta::insert(tuple!["zoe", "HR", 90], 1);
+        check_against_recompute(&agg, &cat, vec![emp_bag()], 0, &d, false);
+        // Last member of Eng leaves: group disappears.
+        let d = Delta::delete(tuple!["carol", "Eng", 120], 1);
+        let mut access = BagAccess::new(vec![emp_bag()]);
+        let out = propagate(&agg, 0, &d, &mut access).unwrap();
+        assert_eq!(out.deletes.count(&tuple!["Eng", 120]), 1);
+        assert!(out.inserts.is_empty() && out.modifies.is_empty());
+        check_against_recompute(&agg, &cat, vec![emp_bag()], 0, &d, false);
+    }
+
+    #[test]
+    fn aggregate_transfer_between_groups() {
+        let cat = catalog();
+        let agg = sum_of_sals(&cat);
+        let d = Delta::modify(tuple!["bob", "Sales", 80], tuple!["bob", "Eng", 80], 1);
+        check_against_recompute(&agg, &cat, vec![emp_bag()], 0, &d, false);
+        check_against_recompute(&agg, &cat, vec![emp_bag()], 0, &d, true);
+    }
+
+    #[test]
+    fn aggregate_min_max_deletion_requeries() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let agg = ExprNode::aggregate(
+            emp,
+            vec![1],
+            vec![
+                AggExpr::new(AggFunc::Max, ScalarExpr::col(2), "TopSal"),
+                AggExpr::new(AggFunc::Min, ScalarExpr::col(2), "LowSal"),
+            ],
+        )
+        .unwrap();
+        // Delete the Sales maximum: must re-query even when materialized.
+        let d = Delta::delete(tuple!["alice", "Sales", 100], 1);
+        let old_out: Bag = [(tuple!["Sales", 100, 80], 1), (tuple!["Eng", 120, 120], 1)]
+            .into_iter()
+            .collect();
+        let mut access = BagAccess::materialized(vec![emp_bag()], old_out);
+        let out = propagate(&agg, 0, &d, &mut access).unwrap();
+        assert!(access.queries_posed > 0);
+        assert_eq!(out.modifies.len(), 1);
+        assert_eq!(out.modifies[0].new, tuple!["Sales", 80, 80]);
+        check_against_recompute(&agg, &cat, vec![emp_bag()], 0, &d, true);
+    }
+
+    #[test]
+    fn aggregate_min_max_insert_only_is_self_maintainable() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let agg = ExprNode::aggregate(
+            emp,
+            vec![1],
+            vec![AggExpr::new(AggFunc::Max, ScalarExpr::col(2), "TopSal")],
+        )
+        .unwrap();
+        let d = Delta::insert(tuple!["zed", "Sales", 500], 1);
+        let old_out: Bag = [(tuple!["Sales", 100], 1), (tuple!["Eng", 120], 1)]
+            .into_iter()
+            .collect();
+        let mut access = BagAccess::materialized(vec![emp_bag()], old_out);
+        let out = propagate(&agg, 0, &d, &mut access).unwrap();
+        assert_eq!(access.queries_posed, 0);
+        assert_eq!(out.modifies[0].new, tuple!["Sales", 500]);
+    }
+
+    #[test]
+    fn aggregate_avg_never_self_maintains() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let agg = ExprNode::aggregate(
+            emp,
+            vec![1],
+            vec![AggExpr::new(AggFunc::Avg, ScalarExpr::col(2), "AvgSal")],
+        )
+        .unwrap();
+        let d = Delta::insert(tuple!["zed", "Sales", 90], 1);
+        let old_out: Bag = [(tuple!["Sales", 90.0], 1), (tuple!["Eng", 120.0], 1)]
+            .into_iter()
+            .collect();
+        let mut access = BagAccess::materialized(vec![emp_bag()], old_out);
+        let _ = propagate(&agg, 0, &d, &mut access).unwrap();
+        assert!(access.queries_posed > 0, "AVG requires the input query");
+        check_against_recompute(&agg, &cat, vec![emp_bag()], 0, &d, true);
+    }
+
+    #[test]
+    fn distinct_emits_only_threshold_crossings() {
+        let cat = catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let proj = ExprNode::project_cols(emp, &[1]).unwrap();
+        let dist = ExprNode::distinct(proj).unwrap();
+        // Child (projection output) old state: Sales x2, Eng x1.
+        let child: Bag = [(tuple!["Sales"], 2), (tuple!["Eng"], 1)]
+            .into_iter()
+            .collect();
+        // Insert another Sales (no output change), delete the only Eng.
+        let mut d = Delta::insert(tuple!["Sales"], 1);
+        d.deletes.insert(tuple!["Eng"], 1);
+        let mut access = BagAccess::new(vec![child]);
+        let out = propagate(&dist, 0, &d, &mut access).unwrap();
+        assert!(out.inserts.is_empty());
+        assert_eq!(out.deletes.count(&tuple!["Eng"]), 1);
+    }
+
+    #[test]
+    fn project_drops_invisible_modifies() {
+        let exprs = vec![(ScalarExpr::col(1), "DName".to_string())];
+        let d = Delta::modify(tuple!["a", "Sales", 100], tuple!["a", "Sales", 130], 1);
+        let out = propagate_project(&exprs, &d).unwrap();
+        assert!(
+            out.is_empty(),
+            "salary change invisible after projecting DName"
+        );
+    }
+
+    #[test]
+    fn empty_delta_short_circuits() {
+        let cat = catalog();
+        let agg = sum_of_sals(&cat);
+        let mut access = BagAccess::new(vec![emp_bag()]);
+        let out = propagate(&agg, 0, &Delta::new(), &mut access).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(access.queries_posed, 0);
+    }
+
+    #[test]
+    fn inconsistent_delete_is_detected() {
+        let cat = catalog();
+        let agg = sum_of_sals(&cat);
+        let d = Delta::delete(tuple!["ghost", "Sales", 1], 1);
+        let mut access = BagAccess::new(vec![emp_bag()]);
+        assert!(propagate(&agg, 0, &d, &mut access).is_err());
+    }
+}

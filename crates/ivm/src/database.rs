@@ -1,0 +1,471 @@
+//! The user-facing database session.
+//!
+//! [`Database`] ties everything together: a storage catalog, a SQL front
+//! end, a declared workload of transaction types, a view-selection
+//! strategy, and one [`IvmEngine`] per materialized view or assertion.
+//! DML statements are converted to deltas, planned against every dependent
+//! engine, gated on assertions (a violating transaction is rejected
+//! *before* anything is applied — SQL-92 semantics), and committed with
+//! full I/O accounting.
+
+use spacetime_algebra::{eval_uncharged, ExprNode, ExprTree, ScalarExpr};
+use spacetime_cost::{PageIoCostModel, TransactionType};
+use spacetime_delta::Delta;
+use spacetime_memo::{explore, Memo};
+use spacetime_optimizer::heuristics::rule_of_thumb_optimize;
+use spacetime_optimizer::{greedy_add, optimal_view_set, shielding_optimize, EvalConfig, ViewSet};
+use spacetime_sql::{lower::lower_literal_row, lower_select, parse_statements, Statement};
+use spacetime_storage::{Bag, Catalog, Column, IoMeter, Schema, Tuple, Value};
+
+use crate::constraints::{Assertion, Violation};
+use crate::engine::{IvmEngine, UpdateReport};
+use crate::{IvmError, IvmResult};
+
+/// How auxiliary views are chosen when a view/assertion is created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViewSelection {
+    /// Materialize only the view itself.
+    RootOnly,
+    /// Algorithm OptimalViewSet (Figure 4) — exhaustive.
+    #[default]
+    Exhaustive,
+    /// Exhaustive with the Shielding-Principle decomposition (§4).
+    Shielding,
+    /// Greedy hill-climbing (§5, approximate costing).
+    Greedy,
+    /// The §5 rule-of-thumb marking.
+    RuleOfThumb,
+}
+
+/// Outcome of one executed statement.
+#[derive(Debug)]
+pub enum SqlOutcome {
+    /// DDL completed.
+    Created(String),
+    /// Rows from a `SELECT`.
+    Rows(Bag),
+    /// DML completed; how many tuples were touched, with the maintenance
+    /// report.
+    Updated {
+        /// Touched base tuples.
+        count: u64,
+        /// Combined maintenance I/O across engines.
+        report: UpdateReport,
+    },
+}
+
+/// A database session.
+pub struct Database {
+    /// Storage: base tables and materialized views.
+    pub catalog: Catalog,
+    engines: Vec<IvmEngine>,
+    assertions: Vec<Assertion>,
+    workload: Vec<TransactionType>,
+    selection: ViewSelection,
+    /// Accumulated maintenance reports (for benchmarking).
+    pub last_report: Option<UpdateReport>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// An empty database with the default (exhaustive) view selection.
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            engines: Vec::new(),
+            assertions: Vec::new(),
+            workload: Vec::new(),
+            selection: ViewSelection::default(),
+            last_report: None,
+        }
+    }
+
+    /// Set the view-selection strategy for subsequently created views.
+    pub fn set_view_selection(&mut self, s: ViewSelection) {
+        self.selection = s;
+    }
+
+    /// Declare the workload (transaction types with weights) the optimizer
+    /// should plan for. Without a declaration, a unit modification per
+    /// base relation with equal weights is assumed.
+    pub fn declare_workload(&mut self, txns: Vec<TransactionType>) {
+        self.workload = txns;
+    }
+
+    /// The engines (for inspection/benchmarks).
+    pub fn engines(&self) -> &[IvmEngine] {
+        &self.engines
+    }
+
+    /// Execute one or more `;`-separated SQL statements, returning the
+    /// last statement's outcome.
+    pub fn execute_sql(&mut self, sql: &str) -> IvmResult<SqlOutcome> {
+        let stmts = parse_statements(sql)?;
+        if stmts.is_empty() {
+            return Err(IvmError::Unsupported("empty statement".into()));
+        }
+        let mut last = None;
+        for stmt in stmts {
+            last = Some(self.execute(stmt)?);
+        }
+        Ok(last.expect("nonempty checked"))
+    }
+
+    fn execute(&mut self, stmt: Statement) -> IvmResult<SqlOutcome> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|c| Column::new(&name, &c.name, c.dtype))
+                        .collect(),
+                );
+                self.catalog.create_table(&name, schema)?;
+                let keys: Vec<&str> = columns
+                    .iter()
+                    .filter(|c| c.primary_key)
+                    .map(|c| c.name.as_str())
+                    .collect();
+                if !keys.is_empty() {
+                    self.catalog.declare_key(&name, &keys)?;
+                }
+                Ok(SqlOutcome::Created(name))
+            }
+            Statement::CreateIndex { table, columns } => {
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                self.catalog.create_index(&table, &cols)?;
+                Ok(SqlOutcome::Created(table))
+            }
+            Statement::CreateView {
+                name,
+                columns,
+                select,
+                ..
+            } => {
+                let mut tree = lower_select(&select, &self.catalog)?;
+                if let Some(cols) = columns {
+                    tree = rename_outputs(tree, &cols)?;
+                }
+                self.create_materialized_view(&name, tree)?;
+                Ok(SqlOutcome::Created(name))
+            }
+            Statement::CreateAssertion { name, select } => {
+                let tree = lower_select(&select, &self.catalog)?;
+                self.create_assertion(&name, tree)?;
+                Ok(SqlOutcome::Created(name))
+            }
+            Statement::Insert { table, rows } => {
+                let mut delta = Delta::new();
+                for row in &rows {
+                    let values = lower_literal_row(row)?;
+                    delta.inserts.insert(Tuple::new(values), 1);
+                }
+                let count = delta.size();
+                let report = self.apply_delta(&table, delta)?;
+                Ok(SqlOutcome::Updated { count, report })
+            }
+            Statement::Delete { table, predicate } => {
+                let rows = self.matching_rows(&table, predicate.as_ref())?;
+                let mut delta = Delta::new();
+                for (t, c) in rows.iter() {
+                    delta.deletes.insert(t.clone(), c);
+                }
+                let count = delta.size();
+                let report = self.apply_delta(&table, delta)?;
+                Ok(SqlOutcome::Updated { count, report })
+            }
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                let schema = self.catalog.table(&table)?.schema().clone();
+                let assignments: Vec<(usize, ScalarExpr)> = sets
+                    .iter()
+                    .map(|(col, e)| {
+                        let pos = schema.resolve(None, col)?;
+                        let lowered = spacetime_sql::lower::lower_scalar(e, &schema)
+                            .map_err(IvmError::Sql)?;
+                        Ok::<_, IvmError>((pos, lowered))
+                    })
+                    .collect::<IvmResult<_>>()?;
+                let rows = self.matching_rows(&table, predicate.as_ref())?;
+                let mut delta = Delta::new();
+                for (t, c) in rows.iter() {
+                    let mut new_vals: Vec<Value> = t.values().to_vec();
+                    for (pos, e) in &assignments {
+                        new_vals[*pos] = e.eval(t)?;
+                    }
+                    delta.push_modify(t.clone(), Tuple::new(new_vals), c);
+                }
+                let count = delta.size();
+                let report = self.apply_delta(&table, delta)?;
+                Ok(SqlOutcome::Updated { count, report })
+            }
+            Statement::Select(select) => {
+                let tree = lower_select(&select, &self.catalog)?;
+                Ok(SqlOutcome::Rows(eval_uncharged(&tree, &self.catalog)?))
+            }
+        }
+    }
+
+    fn matching_rows(
+        &self,
+        table: &str,
+        predicate: Option<&spacetime_sql::Expr>,
+    ) -> IvmResult<Bag> {
+        let t = self.catalog.table(table)?;
+        let data = t.relation.data();
+        match predicate {
+            None => Ok(data.clone()),
+            Some(p) => {
+                let pred = spacetime_sql::lower::lower_scalar(p, t.schema())?;
+                let mut out = Bag::new();
+                for (tup, c) in data.iter() {
+                    if pred.eval_predicate(tup)? {
+                        out.insert(tup.clone(), c);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Programmatic view creation: build the DAG, run the configured
+    /// view-selection strategy against the declared workload, materialize,
+    /// and register the engine. Returns the chosen additional view count.
+    pub fn create_materialized_view(
+        &mut self,
+        name: &str,
+        tree: ExprTree,
+    ) -> IvmResult<&IvmEngine> {
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&tree);
+        memo.set_root(root);
+        explore(&mut memo, &self.catalog)?;
+        let root = memo.find(root);
+
+        let txns = if self.workload.is_empty() {
+            default_workload(&memo, root)
+        } else {
+            self.workload.clone()
+        };
+        let model = PageIoCostModel::default();
+        let config = EvalConfig::default();
+        let view_set: ViewSet = match self.selection {
+            ViewSelection::RootOnly => [root].into_iter().collect(),
+            ViewSelection::Exhaustive => {
+                optimal_view_set(&memo, &self.catalog, &model, root, &txns, &config)
+                    .best
+                    .view_set
+            }
+            ViewSelection::Shielding => {
+                shielding_optimize(&memo, &self.catalog, &model, root, &txns, &config)
+                    .best
+                    .view_set
+            }
+            ViewSelection::Greedy => {
+                greedy_add(&memo, &self.catalog, &model, root, &txns, &config)
+                    .best
+                    .view_set
+            }
+            ViewSelection::RuleOfThumb => {
+                rule_of_thumb_optimize(&memo, &self.catalog, &model, root, &tree, &txns, &config)
+                    .best
+                    .view_set
+            }
+        };
+        let engine = IvmEngine::build(name, memo, root, view_set, &mut self.catalog)?;
+        self.engines.push(engine);
+        Ok(self.engines.last().expect("just pushed"))
+    }
+
+    /// Create several views over **one shared DAG** (§6: "the expression
+    /// DAG … may therefore have multiple roots, and every view that must
+    /// be materialized will be marked"). The optimizer chooses auxiliary
+    /// views once for the whole group, so a subexpression shared by
+    /// several views is materialized and maintained once. Additional
+    /// views per set are capped at 3 to keep the multi-rooted exhaustive
+    /// search tractable.
+    pub fn create_view_group(&mut self, views: Vec<(String, ExprTree)>) -> IvmResult<&IvmEngine> {
+        if views.is_empty() {
+            return Err(IvmError::Unsupported("empty view group".into()));
+        }
+        let mut memo = Memo::new();
+        let mut named_roots = Vec::with_capacity(views.len());
+        for (name, tree) in &views {
+            let g = memo.insert_tree(tree);
+            named_roots.push((name.clone(), g));
+        }
+        memo.set_root(named_roots[0].1);
+        explore(&mut memo, &self.catalog)?;
+        let roots: Vec<spacetime_memo::GroupId> =
+            named_roots.iter().map(|&(_, g)| memo.find(g)).collect();
+        let named_roots: Vec<(String, spacetime_memo::GroupId)> = named_roots
+            .into_iter()
+            .map(|(n, g)| (n, memo.find(g)))
+            .collect();
+
+        let txns = if self.workload.is_empty() {
+            let mut tables = Vec::new();
+            for &r in &roots {
+                for t in crate::engine::leaf_tables(&memo, r) {
+                    if !tables.contains(&t) {
+                        tables.push(t);
+                    }
+                }
+            }
+            tables
+                .into_iter()
+                .map(|t| TransactionType::modify(format!(">{t}"), t, 1.0))
+                .collect()
+        } else {
+            self.workload.clone()
+        };
+        let model = PageIoCostModel::default();
+        let config = EvalConfig::default();
+        let outcome = spacetime_optimizer::optimal_view_set_multi(
+            &memo,
+            &self.catalog,
+            &model,
+            &roots,
+            &txns,
+            &config,
+            Some(3),
+        );
+        let engine = IvmEngine::build_with_roots(
+            named_roots,
+            memo,
+            outcome.best.view_set,
+            &mut self.catalog,
+        )?;
+        self.engines.push(engine);
+        Ok(self.engines.last().expect("just pushed"))
+    }
+
+    /// Create an assertion: a maintained view that must stay empty. Fails
+    /// immediately if the current data already violates it.
+    pub fn create_assertion(&mut self, name: &str, tree: ExprTree) -> IvmResult<()> {
+        let view_name = format!("__assert_{name}");
+        self.create_materialized_view(&view_name, tree)?;
+        let assertion = Assertion {
+            name: name.to_string(),
+            view: view_name,
+        };
+        if let Some(v) = assertion.check(&self.catalog)? {
+            return Err(violation_error(v));
+        }
+        self.assertions.push(assertion);
+        Ok(())
+    }
+
+    /// The declared assertions.
+    pub fn assertions(&self) -> &[Assertion] {
+        &self.assertions
+    }
+
+    /// Apply a delta to a base table, incrementally maintaining every
+    /// dependent view and checking assertions *before* committing
+    /// anything. Returns the combined maintenance report.
+    pub fn apply_delta(&mut self, table: &str, delta: Delta) -> IvmResult<UpdateReport> {
+        if delta.is_empty() {
+            return Ok(UpdateReport::default());
+        }
+        // Phase 1: plan against pre-update state.
+        let mut planned = Vec::with_capacity(self.engines.len());
+        for e in &self.engines {
+            planned.push(e.plan_update(&self.catalog, table, &delta)?);
+        }
+        // Assertion gate.
+        for a in &self.assertions {
+            if let Some((engine, plan)) = self
+                .engines
+                .iter()
+                .zip(&planned)
+                .find(|(e, _)| e.name == a.view)
+            {
+                if let Some(v) = a.check_planned(&self.catalog, engine, plan)? {
+                    return Err(violation_error(v));
+                }
+            }
+        }
+        // Phase 2: commit everywhere.
+        let mut combined = UpdateReport::default();
+        for (e, plan) in self.engines.iter().zip(&planned) {
+            let r = e.commit_update(&mut self.catalog, plan)?;
+            combined.merge(&r);
+        }
+        // Base relation last.
+        let mut base_io = IoMeter::new();
+        let rel = &mut self.catalog.table_mut(table)?.relation;
+        spacetime_delta::apply_to_relation(&delta, rel, &mut base_io)?;
+        combined.base_io = base_io;
+        self.last_report = Some(combined.clone());
+        Ok(combined)
+    }
+
+    /// Apply a multi-relation transaction (the §3.2 transaction types may
+    /// update several relations): each relation's delta is propagated
+    /// sequentially, with immediate-mode assertion checking per step
+    /// (SQL-92's default). Returns the summed maintenance report.
+    pub fn apply_transaction(&mut self, updates: Vec<(String, Delta)>) -> IvmResult<UpdateReport> {
+        let mut combined = UpdateReport::default();
+        for (table, delta) in updates {
+            let r = self.apply_delta(&table, delta)?;
+            combined.merge(&r);
+        }
+        self.last_report = Some(combined.clone());
+        Ok(combined)
+    }
+
+    /// Check every assertion against current state.
+    pub fn check_assertions(&self) -> IvmResult<Vec<Violation>> {
+        let mut out = Vec::new();
+        for a in &self.assertions {
+            if let Some(v) = a.check(&self.catalog)? {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn violation_error(v: Violation) -> IvmError {
+    IvmError::AssertionViolated {
+        name: v.assertion,
+        sample: v.witnesses,
+    }
+}
+
+/// Rename a tree's outputs (CREATE VIEW column list) via a projection.
+fn rename_outputs(tree: ExprTree, names: &[String]) -> IvmResult<ExprTree> {
+    if names.len() != tree.schema.arity() {
+        return Err(IvmError::Unsupported(format!(
+            "view column list has {} names but the query produces {} columns",
+            names.len(),
+            tree.schema.arity()
+        )));
+    }
+    let exprs: Vec<(ScalarExpr, String)> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (ScalarExpr::col(i), n.clone()))
+        .collect();
+    // An identity projection (same names) would be elided by the memo's
+    // project-identity rule anyway; building it is still correct.
+    Ok(ExprNode::project(tree, exprs)?)
+}
+
+/// Default workload: one unit modification per base relation, equal
+/// weights (§3.2's model with no further information).
+fn default_workload(memo: &Memo, root: spacetime_memo::GroupId) -> Vec<TransactionType> {
+    crate::engine::leaf_tables(memo, root)
+        .into_iter()
+        .map(|t| TransactionType::modify(format!(">{t}"), t, 1.0))
+        .collect()
+}

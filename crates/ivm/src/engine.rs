@@ -1,0 +1,524 @@
+//! The maintenance engine: materialize a chosen view set and keep it
+//! incrementally maintained under base-table deltas.
+//!
+//! The engine executes the paper's §3.2 propagation model: for each updated
+//! base relation it follows a pre-chosen (cheapest) update track, computes
+//! each affected node's delta with the `spacetime-delta` rules — posing
+//! queries through [`QueryExec`] so lookups hit materialized views exactly
+//! where the optimizer assumed — and finally applies the deltas to every
+//! materialized relation, charging the §3.6 update costs.
+//!
+//! I/O is reported per bucket ([`UpdateReport`]) so callers can reproduce
+//! the paper's accounting, which excludes base-relation and top-level-view
+//! updates.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spacetime_algebra::{ExprNode, OpKind};
+use spacetime_cost::{CostCtx, PageIoCostModel, TransactionType};
+use spacetime_delta::{apply_to_relation, Delta, InputAccess};
+use spacetime_memo::{GroupId, Memo, OpId};
+use spacetime_optimizer::tracks::UpdateTrack;
+use spacetime_optimizer::{EvalConfig, ViewSet};
+use spacetime_storage::{Bag, Catalog, IoMeter, StorageResult, Value};
+
+use crate::qexec::{filter_binding, QueryExec};
+use crate::{IvmError, IvmResult};
+
+/// Per-bucket I/O accounting for one propagated update.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// I/O spent answering the posed queries (delta computation).
+    pub query_io: IoMeter,
+    /// I/O spent applying deltas to *additional* materialized views.
+    pub aux_io: IoMeter,
+    /// I/O spent applying the delta to the top-level view.
+    pub root_io: IoMeter,
+    /// I/O spent applying the delta to the base relation.
+    pub base_io: IoMeter,
+}
+
+impl UpdateReport {
+    /// The §3.6 metric: query cost + additional-view maintenance, with
+    /// base-relation and top-level-view updates excluded ("We do not count
+    /// the cost of updating the database relations, or the top-level view
+    /// ProblemDept").
+    pub fn paper_cost(&self) -> u64 {
+        self.query_io.total() + self.aux_io.total()
+    }
+
+    /// Everything, including root and base updates.
+    pub fn total(&self) -> u64 {
+        self.paper_cost() + self.root_io.total() + self.base_io.total()
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &UpdateReport) {
+        for (a, b) in [
+            (&mut self.query_io, &other.query_io),
+            (&mut self.aux_io, &other.aux_io),
+            (&mut self.root_io, &other.root_io),
+            (&mut self.base_io, &other.base_io),
+        ] {
+            a.index_page_reads += b.index_page_reads;
+            a.index_page_writes += b.index_page_writes;
+            a.data_page_reads += b.data_page_reads;
+            a.data_page_writes += b.data_page_writes;
+        }
+    }
+}
+
+/// A planned (not yet applied) update: the deltas for every materialized
+/// node plus the query I/O already spent computing them.
+#[derive(Debug, Clone)]
+pub struct PlannedUpdate {
+    /// The updated base table.
+    pub table: String,
+    /// The incoming base delta.
+    pub base_delta: Delta,
+    /// Deltas per materialized group (in application order).
+    pub view_deltas: Vec<(GroupId, Delta)>,
+    /// Report with `query_io` filled in.
+    pub report: UpdateReport,
+}
+
+impl PlannedUpdate {
+    /// The root view's delta, if the root is affected.
+    pub fn root_delta(&self, root: GroupId) -> Option<&Delta> {
+        self.view_deltas
+            .iter()
+            .find(|(g, _)| *g == root)
+            .map(|(_, d)| d)
+    }
+}
+
+/// One maintained view (plus its chosen auxiliary materializations).
+#[derive(Debug)]
+pub struct IvmEngine {
+    /// The view's name (backing table of the root).
+    pub name: String,
+    /// The expression DAG.
+    pub memo: Memo,
+    /// Primary root group (the view itself).
+    pub root: GroupId,
+    /// All root groups (one per view when several views share this
+    /// engine's DAG, §6's multi-rooted case; contains `root`).
+    pub roots: std::collections::BTreeSet<GroupId>,
+    /// The materialized view set (root included).
+    pub view_set: ViewSet,
+    /// Materialized group → backing table.
+    pub materialized: BTreeMap<GroupId, String>,
+    /// Cost model used for runtime plan choices.
+    pub model: PageIoCostModel,
+    /// Chosen update track per base table.
+    tracks: BTreeMap<String, UpdateTrack>,
+    /// Key-elimination result per (table, aggregate op on that track).
+    complete: BTreeMap<(String, OpId), bool>,
+}
+
+impl IvmEngine {
+    /// Materialize `view_set` (the root plus auxiliaries) into the
+    /// catalog, choose per-table update tracks, and return the engine.
+    /// Initial materialization is a full (uncharged) computation.
+    pub fn build(
+        name: impl Into<String>,
+        memo: Memo,
+        root: GroupId,
+        view_set: ViewSet,
+        catalog: &mut Catalog,
+    ) -> IvmResult<IvmEngine> {
+        let name = name.into();
+        Self::build_with_roots(vec![(name, root)], memo, view_set, catalog)
+    }
+
+    /// Multi-rooted variant (§6): several views share one DAG and one set
+    /// of auxiliary materializations. `named_roots` pairs each view's
+    /// backing-table name with its root group; the first entry is the
+    /// primary (it names the auxiliary tables).
+    pub fn build_with_roots(
+        named_roots: Vec<(String, GroupId)>,
+        memo: Memo,
+        view_set: ViewSet,
+        catalog: &mut Catalog,
+    ) -> IvmResult<IvmEngine> {
+        assert!(!named_roots.is_empty(), "at least one root view");
+        let named_roots: Vec<(String, GroupId)> = named_roots
+            .into_iter()
+            .map(|(n, g)| (n, memo.find(g)))
+            .collect();
+        let name = named_roots[0].0.clone();
+        let root = named_roots[0].1;
+        let roots: std::collections::BTreeSet<GroupId> =
+            named_roots.iter().map(|&(_, g)| g).collect();
+        let view_set: ViewSet = view_set
+            .iter()
+            .map(|&g| memo.find(g))
+            .chain(roots.iter().copied())
+            .collect();
+        let model = PageIoCostModel::default();
+
+        // Materialize every marked group.
+        let mut materialized = BTreeMap::new();
+        for &g in &view_set {
+            let table_name = if let Some((n, _)) = named_roots.iter().find(|&&(_, r)| r == g) {
+                n.clone()
+            } else {
+                format!("{name}__aux_N{}", g.0)
+            };
+            let schema = memo.schema(g).requalify(&table_name);
+            catalog.create_materialized(&table_name, schema)?;
+            let tree = memo.extract_one(g);
+            let contents = spacetime_algebra::eval_uncharged(&tree, catalog)?;
+            // Indexes: one per column set this node can be queried on.
+            let mut index_sets = needed_indexes(&memo, g);
+            index_sets.sort();
+            index_sets.dedup();
+            {
+                let t = catalog.table_mut(&table_name)?;
+                for cols in index_sets {
+                    if !cols.is_empty() {
+                        t.relation.create_index(cols)?;
+                    }
+                }
+                t.relation.load(contents)?;
+                t.analyze();
+            }
+            materialized.insert(g, table_name);
+        }
+
+        // Choose the cheapest track per base table (unit-modify probe
+        // transactions; the optimizer's evaluation machinery picks the
+        // same tracks its cost tables did).
+        let mut tracks = BTreeMap::new();
+        let mut complete = BTreeMap::new();
+        let mut leaf_tables: Vec<String> = Vec::new();
+        for &r in &roots {
+            for t in self_leaf_tables(&memo, r) {
+                if !leaf_tables.contains(&t) {
+                    leaf_tables.push(t);
+                }
+            }
+        }
+        let config = EvalConfig::default();
+        let mut ctx = CostCtx::new(&memo, catalog, &model);
+        for table in &leaf_tables {
+            let txn = TransactionType::modify(format!(">{table}"), table.clone(), 1.0);
+            let root_vec: Vec<GroupId> = roots.iter().copied().collect();
+            let eval = spacetime_optimizer::evaluate_multi(
+                &mut ctx,
+                catalog,
+                &root_vec,
+                &view_set,
+                &[txn],
+                &config,
+            );
+            let Some(txn_eval) = eval.per_txn.first() else {
+                continue;
+            };
+            let Some(best) = txn_eval.tracks.get(txn_eval.best_track) else {
+                continue;
+            };
+            let track = best.track.clone();
+            // Precompute key-elimination per aggregate op on this track.
+            for (&g, &op) in &track.choices {
+                if let OpKind::Aggregate { group_by, .. } = &memo.op(op).op {
+                    let child = memo.op_children(op)[0];
+                    let ok = spacetime_optimizer::delta_group_complete(
+                        &memo, catalog, &track, child, group_by, table,
+                    );
+                    complete.insert((table.clone(), op), ok);
+                }
+                let _ = g;
+            }
+            tracks.insert(table.clone(), track);
+        }
+
+        Ok(IvmEngine {
+            name,
+            memo,
+            root,
+            roots,
+            view_set,
+            materialized,
+            model,
+            tracks,
+            complete,
+        })
+    }
+
+    /// Whether this engine's DAG reads `table`.
+    pub fn depends_on(&self, table: &str) -> bool {
+        self.tracks.contains_key(table)
+    }
+
+    /// Phase 1: propagate a base delta along the chosen track, computing
+    /// the delta of every affected materialized node. Reads only
+    /// *pre-update* state; applies nothing.
+    pub fn plan_update(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        base_delta: &Delta,
+    ) -> IvmResult<PlannedUpdate> {
+        let mut report = UpdateReport::default();
+        let Some(track) = self.tracks.get(table) else {
+            return Ok(PlannedUpdate {
+                table: table.to_string(),
+                base_delta: base_delta.clone(),
+                view_deltas: Vec::new(),
+                report,
+            });
+        };
+        let exec = QueryExec::new(&self.memo, catalog, self.materialized.clone());
+        let mut ctx = CostCtx::new(&self.memo, catalog, &self.model);
+
+        // Topological order of the track's groups (children first).
+        let order = topo_order(&self.memo, track);
+
+        let leaf = self
+            .roots
+            .iter()
+            .find_map(|&r| leaf_group(&self.memo, r, table))
+            .ok_or_else(|| {
+                IvmError::Unsupported(format!("table `{table}` not under view `{}`", self.name))
+            })?;
+        let mut deltas: BTreeMap<GroupId, Delta> = BTreeMap::new();
+        deltas.insert(leaf, base_delta.clone());
+
+        for g in order {
+            let Some(&op) = track.choices.get(&g) else {
+                continue;
+            };
+            let children = self.memo.op_children(op);
+            // Exactly one child may carry a delta (sequential propagation;
+            // a self-join of the updated table would put deltas on both).
+            let carriers: Vec<usize> = children
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| deltas.get(c).is_some_and(|d| !d.is_empty()))
+                .map(|(i, _)| i)
+                .collect();
+            if carriers.len() > 1 {
+                return Err(IvmError::Unsupported(
+                    "propagation through a self-join of the updated relation".into(),
+                ));
+            }
+            let Some(&delta_child) = carriers.first() else {
+                continue;
+            };
+            let d_in = deltas[&children[delta_child]].clone();
+            let node = Arc::new(ExprNode {
+                op: self.memo.op(op).op.clone(),
+                children: vec![],
+                schema: self.memo.schema(g).clone(),
+            });
+            let self_mv = self
+                .materialized
+                .get(&g)
+                .map(|t| catalog.table(t))
+                .transpose()?;
+            let complete = *self
+                .complete
+                .get(&(table.to_string(), op))
+                .unwrap_or(&false);
+            let mut access = EngineAccess {
+                exec: &exec,
+                ctx: &mut ctx,
+                children: &children,
+                self_mv: self_mv.map(|t| t.relation.data()),
+                complete,
+                io: &mut report.query_io,
+            };
+            let d_out = spacetime_delta::propagate(&node, delta_child, &d_in, &mut access)?;
+            deltas.insert(g, d_out);
+        }
+
+        // Deltas for materialized nodes, children before parents, so
+        // commit order never violates referential assumptions.
+        let order = topo_order(&self.memo, track);
+        let view_deltas: Vec<(GroupId, Delta)> = order
+            .into_iter()
+            .filter(|g| self.materialized.contains_key(g))
+            .filter_map(|g| deltas.get(&g).map(|d| (g, d.clone())))
+            .filter(|(_, d)| !d.is_empty())
+            .collect();
+        Ok(PlannedUpdate {
+            table: table.to_string(),
+            base_delta: base_delta.clone(),
+            view_deltas,
+            report,
+        })
+    }
+
+    /// Phase 2: apply a planned update's view deltas (the base relation is
+    /// the caller's responsibility, since several engines may share it).
+    pub fn commit_update(
+        &self,
+        catalog: &mut Catalog,
+        planned: &PlannedUpdate,
+    ) -> IvmResult<UpdateReport> {
+        let mut report = planned.report.clone();
+        for (g, delta) in &planned.view_deltas {
+            let table = &self.materialized[g];
+            let io = if self.roots.contains(g) {
+                &mut report.root_io
+            } else {
+                &mut report.aux_io
+            };
+            let rel = &mut catalog.table_mut(table)?.relation;
+            apply_to_relation(delta, rel, io)?;
+        }
+        Ok(report)
+    }
+
+    /// Convenience: plan + commit in one call (no assertion gating).
+    pub fn apply_update(
+        &self,
+        catalog: &mut Catalog,
+        table: &str,
+        base_delta: &Delta,
+    ) -> IvmResult<UpdateReport> {
+        let planned = self.plan_update(catalog, table, base_delta)?;
+        self.commit_update(catalog, &planned)
+    }
+
+    /// The root view's current contents.
+    pub fn root_contents<'a>(&self, catalog: &'a Catalog) -> StorageResult<&'a Bag> {
+        Ok(catalog.table(&self.name)?.relation.data())
+    }
+}
+
+/// `InputAccess` over the engine: queries via [`QueryExec`] (charged),
+/// self-rows from the node's own materialization (uncharged — the
+/// subsequent update application pays for reading the tuple, per §3.6's
+/// "reading, modifying and writing 1 tuple" arithmetic).
+struct EngineAccess<'e, 'c, 'x> {
+    exec: &'e QueryExec<'e>,
+    ctx: &'e mut CostCtx<'c>,
+    children: &'e [GroupId],
+    self_mv: Option<&'e Bag>,
+    complete: bool,
+    io: &'x mut IoMeter,
+}
+
+impl InputAccess for EngineAccess<'_, '_, '_> {
+    fn matching(&mut self, child: usize, cols: &[usize], key: &[Value]) -> StorageResult<Bag> {
+        self.exec
+            .query(self.children[child], cols, key, self.ctx, self.io)
+    }
+
+    fn self_rows(&mut self, cols: &[usize], key: &[Value]) -> StorageResult<Option<Bag>> {
+        Ok(self.self_mv.map(|bag| filter_binding(bag, cols, key)))
+    }
+
+    fn group_complete(&self, _cols: &[usize]) -> bool {
+        self.complete
+    }
+}
+
+fn self_leaf_tables(memo: &Memo, root: GroupId) -> Vec<String> {
+    leaf_tables(memo, root)
+}
+
+/// Distinct base tables scanned under `root`.
+pub fn leaf_tables(memo: &Memo, root: GroupId) -> Vec<String> {
+    let mut out = Vec::new();
+    for g in spacetime_memo::descendant_groups(memo, root) {
+        for op in memo.group_ops(g) {
+            if let OpKind::Scan { table } = &memo.op(op).op {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The leaf group scanning `table` under `root`.
+fn leaf_group(memo: &Memo, root: GroupId, table: &str) -> Option<GroupId> {
+    spacetime_memo::descendant_groups(memo, root)
+        .into_iter()
+        .find(|&g| {
+            memo.group_ops(g)
+                .iter()
+                .any(|&op| matches!(&memo.op(op).op, OpKind::Scan { table: t } if t == table))
+        })
+}
+
+/// Children-first order of a track's chosen groups.
+fn topo_order(memo: &Memo, track: &UpdateTrack) -> Vec<GroupId> {
+    let mut order = Vec::new();
+    let mut state: BTreeMap<GroupId, u8> = BTreeMap::new();
+    fn visit(
+        memo: &Memo,
+        track: &UpdateTrack,
+        g: GroupId,
+        state: &mut BTreeMap<GroupId, u8>,
+        order: &mut Vec<GroupId>,
+    ) {
+        if state.get(&g).copied().unwrap_or(0) != 0 {
+            return;
+        }
+        state.insert(g, 1);
+        if let Some(&op) = track.choices.get(&g) {
+            for c in memo.op_children(op) {
+                visit(memo, track, c, state, order);
+            }
+        }
+        state.insert(g, 2);
+        order.push(g);
+    }
+    let keys: Vec<GroupId> = track.choices.keys().copied().collect();
+    for g in keys {
+        visit(memo, track, g, &mut state, &mut order);
+    }
+    order
+}
+
+/// Column sets other nodes may query this group on (used to pre-create
+/// indexes on its materialization): join columns from parent joins, group
+/// columns from parent aggregates, and the node's own group columns (for
+/// self-maintenance lookups by the database layer).
+fn needed_indexes(memo: &Memo, g: GroupId) -> Vec<Vec<usize>> {
+    let g = memo.find(g);
+    let mut out = Vec::new();
+    for other in memo.groups() {
+        for op in memo.group_ops(other) {
+            let children = memo.op_children(op);
+            match &memo.op(op).op {
+                OpKind::Join { condition } => {
+                    if children.first() == Some(&g) {
+                        let cols = condition.left_cols();
+                        if !cols.is_empty() {
+                            out.push(cols);
+                        }
+                    }
+                    if children.get(1) == Some(&g) {
+                        let cols = condition.right_cols();
+                        if !cols.is_empty() {
+                            out.push(cols);
+                        }
+                    }
+                }
+                OpKind::Aggregate { group_by, .. }
+                    if children.first() == Some(&g) && !group_by.is_empty() =>
+                {
+                    out.push(group_by.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    // The node's own aggregate output keys (group columns).
+    for op in memo.group_ops(g) {
+        if let OpKind::Aggregate { group_by, .. } = &memo.op(op).op {
+            if !group_by.is_empty() {
+                out.push((0..group_by.len()).collect());
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,82 @@
+//! # spacetime-ivm
+//!
+//! The runtime: actually *doing* the incremental maintenance the optimizer
+//! planned, against real storage, with measured page I/Os that are
+//! directly comparable to the optimizer's estimates.
+//!
+//! * [`qexec`] — runtime evaluation of the queries posed during delta
+//!   propagation, picking the same plans the cost model priced (lookups on
+//!   materialized nodes, pushed-down evaluation elsewhere).
+//! * [`engine`] — [`engine::IvmEngine`]: materializes a chosen view set,
+//!   and propagates base-table deltas along the cheapest update tracks,
+//!   maintaining every materialized view and reporting per-bucket I/O.
+//! * [`constraints`] — SQL-92 assertions as views required to be empty
+//!   (§1, §6): incremental checking and violation reporting.
+//! * [`database`] — [`database::Database`]: the user-facing session tying
+//!   everything together (DDL, DML with automatic view maintenance, SQL
+//!   front end, workload declaration, view-selection strategies).
+//! * [`verify`] — the recompute-from-scratch oracle used by tests and
+//!   examples to prove maintenance correct.
+
+pub mod constraints;
+pub mod database;
+pub mod engine;
+pub mod qexec;
+pub mod verify;
+
+pub use constraints::{Assertion, Violation};
+pub use database::{Database, ViewSelection};
+pub use engine::{IvmEngine, UpdateReport};
+pub use verify::verify_all_views;
+
+/// Errors surfaced by the runtime: storage/algebra errors plus SQL ones.
+#[derive(Debug)]
+pub enum IvmError {
+    /// Storage/algebra/semantic failure.
+    Storage(spacetime_storage::StorageError),
+    /// SQL front-end failure.
+    Sql(spacetime_sql::SqlError),
+    /// An integrity constraint would be violated.
+    AssertionViolated {
+        /// The assertion's name.
+        name: String,
+        /// Sample violating tuples (rendered).
+        sample: Vec<String>,
+    },
+    /// Unsupported operation.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for IvmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IvmError::Storage(e) => write!(f, "{e}"),
+            IvmError::Sql(e) => write!(f, "{e}"),
+            IvmError::AssertionViolated { name, sample } => {
+                write!(f, "assertion `{name}` violated")?;
+                if !sample.is_empty() {
+                    write!(f, " (e.g. {})", sample.join(", "))?;
+                }
+                Ok(())
+            }
+            IvmError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IvmError {}
+
+impl From<spacetime_storage::StorageError> for IvmError {
+    fn from(e: spacetime_storage::StorageError) -> Self {
+        IvmError::Storage(e)
+    }
+}
+
+impl From<spacetime_sql::SqlError> for IvmError {
+    fn from(e: spacetime_sql::SqlError) -> Self {
+        IvmError::Sql(e)
+    }
+}
+
+/// Result alias.
+pub type IvmResult<T> = Result<T, IvmError>;

@@ -1,0 +1,325 @@
+//! Runtime evaluation of posed queries.
+//!
+//! During delta propagation, queries are posed on equivalence nodes
+//! (§2.2). This module *executes* them, following the same plan space the
+//! cost model priced: a query on a base relation or materialized view is
+//! an index lookup; a query on any other node is answered through the
+//! operation-node alternative with the lowest estimated cost, pushing the
+//! binding down. Executing the plans the optimizer priced is what makes
+//! the engine's *measured* page I/Os comparable to the *estimated* ones.
+
+use std::collections::BTreeMap;
+
+use spacetime_algebra::eval::{aggregate_bag, join_bags};
+use spacetime_algebra::{JoinCondition, OpKind, ScalarExpr};
+use spacetime_cost::{Cost, CostCtx, Marking};
+use spacetime_memo::{GroupId, Memo, OpId};
+use spacetime_storage::{Bag, Catalog, IoMeter, StorageResult, Value};
+
+/// Executes queries over the DAG against the catalog.
+pub struct QueryExec<'a> {
+    /// The expression DAG.
+    pub memo: &'a Memo,
+    /// Storage (base tables and materialized views).
+    pub catalog: &'a Catalog,
+    /// Materialized groups → backing table name.
+    pub materialized: BTreeMap<GroupId, String>,
+    /// The same set as a cost-model marking.
+    pub marking: Marking,
+}
+
+impl<'a> QueryExec<'a> {
+    /// Build an executor for a set of materializations.
+    pub fn new(
+        memo: &'a Memo,
+        catalog: &'a Catalog,
+        materialized: BTreeMap<GroupId, String>,
+    ) -> Self {
+        let marking: Marking = materialized.keys().copied().collect();
+        QueryExec {
+            memo,
+            catalog,
+            materialized,
+            marking,
+        }
+    }
+
+    /// All tuples of `g` whose `cols` equal `key`.
+    pub fn query(
+        &self,
+        g: GroupId,
+        cols: &[usize],
+        key: &[Value],
+        ctx: &mut CostCtx<'_>,
+        io: &mut IoMeter,
+    ) -> StorageResult<Bag> {
+        let g = self.memo.find(g);
+        if cols.is_empty() {
+            return self.full_eval(g, ctx, io);
+        }
+        if let Some(table) = self.backing_table(g) {
+            return self.stored_lookup(&table, cols, key, io);
+        }
+        // Pick the cheapest alternative, exactly as the optimizer did.
+        let mut best: Option<(Cost, OpId)> = None;
+        for op in self.memo.group_ops(g) {
+            let c = ctx.op_query_cost(op, cols, &self.marking);
+            if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                best = Some((c, op));
+            }
+        }
+        let Some((_, op)) = best else {
+            return Ok(Bag::new());
+        };
+        self.query_via_op(op, cols, key, ctx, io)
+    }
+
+    /// The stored relation backing `g`, if any (base table or MV).
+    fn backing_table(&self, g: GroupId) -> Option<String> {
+        let g = self.memo.find(g);
+        if let Some(t) = self.materialized.get(&g) {
+            return Some(t.clone());
+        }
+        if self.memo.is_leaf(g) {
+            for op in self.memo.group_ops(g) {
+                if let OpKind::Scan { table } = &self.memo.op(op).op {
+                    return Some(table.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Index lookup (or filtered scan when no index fits) on a stored
+    /// relation.
+    fn stored_lookup(
+        &self,
+        table: &str,
+        cols: &[usize],
+        key: &[Value],
+        io: &mut IoMeter,
+    ) -> StorageResult<Bag> {
+        let t = self.catalog.table(table)?;
+        // Exact-column index?
+        for (idx, def) in t.relation.index_defs().into_iter().enumerate() {
+            if def.len() == cols.len() && def.iter().all(|c| cols.contains(c)) {
+                let probe: Vec<Value> = def
+                    .iter()
+                    .map(|c| key[cols.iter().position(|x| x == c).expect("subset")].clone())
+                    .collect();
+                return Ok(t.relation.lookup(idx, &probe, io));
+            }
+        }
+        // Fallback: scan and filter (charged as a scan).
+        let all = t.relation.scan(io).clone();
+        Ok(filter_binding(&all, cols, key))
+    }
+
+    fn query_via_op(
+        &self,
+        op: OpId,
+        cols: &[usize],
+        key: &[Value],
+        ctx: &mut CostCtx<'_>,
+        io: &mut IoMeter,
+    ) -> StorageResult<Bag> {
+        let node = self.memo.op(op).op.clone();
+        let children = self.memo.op_children(op);
+        match node {
+            OpKind::Scan { table } => self.stored_lookup(&table, cols, key, io),
+            OpKind::Select { predicate } => {
+                let r = self.query(children[0], cols, key, ctx, io)?;
+                filter_pred(&r, &predicate)
+            }
+            OpKind::Distinct => {
+                let r = self.query(children[0], cols, key, ctx, io)?;
+                Ok(r.iter().map(|(t, _)| (t.clone(), 1)).collect())
+            }
+            OpKind::Project { exprs } => {
+                let mapped: Option<Vec<usize>> = cols
+                    .iter()
+                    .map(|&c| match exprs.get(c) {
+                        Some((ScalarExpr::Col(i), _)) => Some(*i),
+                        _ => None,
+                    })
+                    .collect();
+                let input = match mapped {
+                    Some(m) => self.query(children[0], &m, key, ctx, io)?,
+                    None => self.full_eval(children[0], ctx, io)?,
+                };
+                let projected = spacetime_algebra::eval::project_bag(&input, &exprs)?;
+                Ok(filter_binding(&projected, cols, key))
+            }
+            OpKind::Aggregate { group_by, aggs } => {
+                let mapped: Option<Vec<usize>> =
+                    cols.iter().map(|&c| group_by.get(c).copied()).collect();
+                let input = match mapped {
+                    Some(m) => self.query(children[0], &m, key, ctx, io)?,
+                    None => self.full_eval(children[0], ctx, io)?,
+                };
+                let out = aggregate_bag(&input, &group_by, &aggs)?;
+                Ok(filter_binding(&out, cols, key))
+            }
+            OpKind::Join { condition } => self.query_join(&condition, children, cols, key, ctx, io),
+        }
+    }
+
+    fn query_join(
+        &self,
+        condition: &JoinCondition,
+        children: Vec<GroupId>,
+        cols: &[usize],
+        key: &[Value],
+        ctx: &mut CostCtx<'_>,
+        io: &mut IoMeter,
+    ) -> StorageResult<Bag> {
+        let (a, b) = (children[0], children[1]);
+        let la = self.memo.schema(a).arity();
+        let lp: Vec<(usize, Value)> = cols
+            .iter()
+            .zip(key)
+            .filter(|(&c, _)| c < la)
+            .map(|(&c, v)| (c, v.clone()))
+            .collect();
+        let rp: Vec<(usize, Value)> = cols
+            .iter()
+            .zip(key)
+            .filter(|(&c, _)| c >= la)
+            .map(|(&c, v)| (c - la, v.clone()))
+            .collect();
+        let lcols = condition.left_cols();
+        let rcols = condition.right_cols();
+
+        // Drive from the bound side; probe the other per distinct join key.
+        let (drive_left, outer) = if rp.is_empty() || !lp.is_empty() {
+            let (c, k): (Vec<usize>, Vec<Value>) = lp.iter().cloned().unzip();
+            (true, self.query(a, &c, &k, ctx, io)?)
+        } else {
+            let (c, k): (Vec<usize>, Vec<Value>) = rp.iter().cloned().unzip();
+            (false, self.query(b, &c, &k, ctx, io)?)
+        };
+
+        let mut cache: BTreeMap<Vec<Value>, Bag> = BTreeMap::new();
+        let mut out = Bag::new();
+        for (t, c) in outer.iter() {
+            let (my_cols, other_cols, other_group) = if drive_left {
+                (&lcols, &rcols, b)
+            } else {
+                (&rcols, &lcols, a)
+            };
+            let mut probe = Vec::with_capacity(my_cols.len());
+            let mut null = false;
+            for &mc in my_cols.iter() {
+                let v = t.get(mc).cloned().unwrap_or(Value::Null);
+                if v.is_null() {
+                    null = true;
+                    break;
+                }
+                probe.push(v);
+            }
+            if null {
+                continue;
+            }
+            let matches = match cache.get(&probe) {
+                Some(m) => m.clone(),
+                None => {
+                    let m = self.query(other_group, other_cols, &probe, ctx, io)?;
+                    cache.insert(probe.clone(), m.clone());
+                    m
+                }
+            };
+            for (o, oc) in matches.iter() {
+                let joined = if drive_left { t.concat(o) } else { o.concat(t) };
+                if let Some(res) = &condition.residual {
+                    if !res.eval_predicate(&joined)? {
+                        continue;
+                    }
+                }
+                out.insert(joined, c * oc);
+            }
+        }
+        Ok(filter_binding(&out, cols, key))
+    }
+
+    /// Fully evaluate a group (used when a binding cannot be pushed).
+    pub fn full_eval(
+        &self,
+        g: GroupId,
+        ctx: &mut CostCtx<'_>,
+        io: &mut IoMeter,
+    ) -> StorageResult<Bag> {
+        let g = self.memo.find(g);
+        if let Some(table) = self.backing_table(g) {
+            let t = self.catalog.table(&table)?;
+            return Ok(t.relation.scan(io).clone());
+        }
+        // Cheapest full evaluation among the alternatives; mirror the cost
+        // model by summing children's full-eval costs.
+        let mut best: Option<(Cost, OpId)> = None;
+        for op in self.memo.group_ops(g) {
+            let cost: Cost = self
+                .memo
+                .op_children(op)
+                .into_iter()
+                .map(|c| ctx.full_eval_cost(c, &self.marking))
+                .sum();
+            if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                best = Some((cost, op));
+            }
+        }
+        let Some((_, op)) = best else {
+            return Ok(Bag::new());
+        };
+        let node = self.memo.op(op).op.clone();
+        let children = self.memo.op_children(op);
+        match node {
+            OpKind::Scan { table } => {
+                let t = self.catalog.table(&table)?;
+                Ok(t.relation.scan(io).clone())
+            }
+            OpKind::Select { predicate } => {
+                let input = self.full_eval(children[0], ctx, io)?;
+                filter_pred(&input, &predicate)
+            }
+            OpKind::Project { exprs } => {
+                let input = self.full_eval(children[0], ctx, io)?;
+                spacetime_algebra::eval::project_bag(&input, &exprs)
+            }
+            OpKind::Distinct => {
+                let input = self.full_eval(children[0], ctx, io)?;
+                Ok(input.iter().map(|(t, _)| (t.clone(), 1)).collect())
+            }
+            OpKind::Aggregate { group_by, aggs } => {
+                let input = self.full_eval(children[0], ctx, io)?;
+                aggregate_bag(&input, &group_by, &aggs)
+            }
+            OpKind::Join { condition } => {
+                let left = self.full_eval(children[0], ctx, io)?;
+                let right = self.full_eval(children[1], ctx, io)?;
+                join_bags(&left, &right, &condition)
+            }
+        }
+    }
+}
+
+/// Keep tuples whose `cols` equal `key`.
+pub fn filter_binding(bag: &Bag, cols: &[usize], key: &[Value]) -> Bag {
+    bag.iter()
+        .filter(|(t, _)| {
+            cols.iter()
+                .zip(key)
+                .all(|(&c, kv)| t.get(c).map_or(kv.is_null(), |v| v == kv))
+        })
+        .map(|(t, c)| (t.clone(), c))
+        .collect()
+}
+
+fn filter_pred(bag: &Bag, predicate: &ScalarExpr) -> StorageResult<Bag> {
+    let mut out = Bag::new();
+    for (t, c) in bag.iter() {
+        if predicate.eval_predicate(t)? {
+            out.insert(t.clone(), c);
+        }
+    }
+    Ok(out)
+}

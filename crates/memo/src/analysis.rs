@@ -1,0 +1,342 @@
+//! Graph analyses over the expression DAG.
+//!
+//! * [`descendant_groups`] — the `D_N` of §4.2: a node, its descendants,
+//!   and the edges between them.
+//! * [`affected_groups`] — the `U_V` of Def. 3.3: nodes whose results are
+//!   affected by a transaction type (they have an updated relation as a
+//!   descendant).
+//! * [`articulation_groups`] — Def. 4.1: equivalence nodes whose removal
+//!   disconnects the (undirected) DAG; at these the Shielding Principle
+//!   (Theorem 4.1) allows local optimization.
+
+use std::collections::{BTreeSet, HashMap};
+
+use spacetime_algebra::OpKind;
+
+use crate::memo::{GroupId, Memo, OpId};
+
+/// All groups reachable downward from `g` (inclusive).
+pub fn descendant_groups(memo: &Memo, g: GroupId) -> BTreeSet<GroupId> {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![memo.find(g)];
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur) {
+            continue;
+        }
+        for op in memo.group_ops(cur) {
+            for child in memo.op_children(op) {
+                if !seen.contains(&child) {
+                    stack.push(child);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Groups (within the descendants of `root`) whose results are affected
+/// when the given base tables are updated: the updated scan leaves and
+/// every group above them.
+///
+/// Affectedness is semantic — all alternatives of a group compute the same
+/// value — so a group is affected as soon as *any* of its operation nodes
+/// has an affected child.
+pub fn affected_groups(memo: &Memo, root: GroupId, updated_tables: &[&str]) -> BTreeSet<GroupId> {
+    let scope = descendant_groups(memo, root);
+    let mut affected: BTreeSet<GroupId> = BTreeSet::new();
+    // Seed: leaves scanning an updated table.
+    for &g in &scope {
+        for op in memo.group_ops(g) {
+            if let OpKind::Scan { table } = &memo.op(op).op {
+                if updated_tables.iter().any(|t| *t == table) {
+                    affected.insert(g);
+                }
+            }
+        }
+    }
+    // Propagate upward to fixpoint (the scope is small; a simple loop is
+    // clearer than a topological order and also handles any residual
+    // non-tree sharing).
+    loop {
+        let mut changed = false;
+        for &g in &scope {
+            if affected.contains(&g) {
+                continue;
+            }
+            let hit = memo
+                .group_ops(g)
+                .iter()
+                .any(|&op| memo.op_children(op).iter().any(|c| affected.contains(c)));
+            if hit {
+                affected.insert(g);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    affected
+}
+
+/// Nodes of the bipartite DAG viewed as an undirected graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum DagNode {
+    Group(GroupId),
+    Op(OpId),
+}
+
+/// Equivalence nodes that are articulation points of the undirected DAG
+/// restricted to the descendants of `root` (Def. 4.1). The root itself is
+/// excluded — it is always materialized and never *shields* anything.
+pub fn articulation_groups(memo: &Memo, root: GroupId) -> BTreeSet<GroupId> {
+    let root = memo.find(root);
+    let scope = descendant_groups(memo, root);
+
+    // Build adjacency (undirected): group — member op, op — child group.
+    let mut nodes: Vec<DagNode> = Vec::new();
+    let mut index: HashMap<DagNode, usize> = HashMap::new();
+    let mut adj: Vec<Vec<usize>> = Vec::new();
+    let intern = |n: DagNode,
+                  nodes: &mut Vec<DagNode>,
+                  adj: &mut Vec<Vec<usize>>,
+                  index: &mut HashMap<DagNode, usize>| {
+        *index.entry(n).or_insert_with(|| {
+            nodes.push(n);
+            adj.push(Vec::new());
+            nodes.len() - 1
+        })
+    };
+    for &g in &scope {
+        let gi = intern(DagNode::Group(g), &mut nodes, &mut adj, &mut index);
+        for op in memo.group_ops(g) {
+            // Scan operators are not operation nodes in the paper's DAG —
+            // "the leaves of an expression DAG are equivalence nodes
+            // corresponding to database relations" — so they contribute no
+            // edges (otherwise every leaf would look like an articulation
+            // point, separating its own scan).
+            if matches!(memo.op(op).op, OpKind::Scan { .. }) {
+                continue;
+            }
+            let oi = intern(DagNode::Op(op), &mut nodes, &mut adj, &mut index);
+            adj[gi].push(oi);
+            adj[oi].push(gi);
+            for c in memo.op_children(op) {
+                let ci = intern(DagNode::Group(c), &mut nodes, &mut adj, &mut index);
+                adj[oi].push(ci);
+                adj[ci].push(oi);
+            }
+        }
+    }
+
+    // Tarjan articulation points (iterative DFS to be safe on deep DAGs).
+    let n = nodes.len();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut is_art = vec![false; n];
+    let mut timer = 0usize;
+
+    for start in 0..n {
+        if disc[start] != usize::MAX {
+            continue;
+        }
+        // Stack frames: (node, neighbor index).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            if *i < adj[u].len() {
+                let v = adj[u][*i];
+                *i += 1;
+                if disc[v] == usize::MAX {
+                    parent[v] = u;
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    if u == start {
+                        root_children += 1;
+                    }
+                    stack.push((v, 0));
+                } else if v != parent[u] {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if parent[u] == p && p != start && low[u] >= disc[p] {
+                        is_art[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_art[start] = true;
+        }
+    }
+
+    nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| match n {
+            DagNode::Group(g) if is_art[i] && *g != root => Some(*g),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacetime_algebra::{AggExpr, AggFunc, BinOp, ExprNode, ExprTree, ScalarExpr};
+    use spacetime_storage::{Catalog, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for (name, cols) in [
+            ("R", vec![("item", DataType::Str), ("r", DataType::Int)]),
+            (
+                "S",
+                vec![("item", DataType::Str), ("quantity", DataType::Int)],
+            ),
+            ("T", vec![("item", DataType::Str), ("price", DataType::Int)]),
+        ] {
+            cat.create_table(name, Schema::of_table(name, &cols))
+                .unwrap();
+        }
+        cat
+    }
+
+    /// The paper's Figure 5:
+    /// R ⋈_item Aggregate(SUM(S.Quantity * T.Price) BY T.Item)(S ⋈_item T).
+    fn figure5_tree(cat: &Catalog) -> ExprTree {
+        let s = ExprNode::scan(cat, "S").unwrap();
+        let t = ExprNode::scan(cat, "T").unwrap();
+        let st = ExprNode::join_on(s, t, &[("S.item", "T.item")]).unwrap();
+        let agg = ExprNode::aggregate(
+            st,
+            vec![2], // T.item
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                ScalarExpr::bin(BinOp::Mul, ScalarExpr::col(1), ScalarExpr::col(3)),
+                "Total",
+            )],
+        )
+        .unwrap();
+        let r = ExprNode::scan(cat, "R").unwrap();
+        ExprNode::join_on(r, agg, &[("R.item", "item")]).unwrap()
+    }
+
+    #[test]
+    fn descendants_cover_all_reachable_groups() {
+        let cat = catalog();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&figure5_tree(&cat));
+        let d = descendant_groups(&memo, root);
+        // R, S, T, S⋈T, Agg, root = 6 groups.
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn affected_groups_follow_updates() {
+        let cat = catalog();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&figure5_tree(&cat));
+        // Updating R affects only R's leaf and the root join.
+        let a = affected_groups(&memo, root, &["R"]);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(&root));
+        // Updating S affects S, S⋈T, Agg, root.
+        let a = affected_groups(&memo, root, &["S"]);
+        assert_eq!(a.len(), 4);
+        // Updating nothing affects nothing.
+        assert!(affected_groups(&memo, root, &[]).is_empty());
+    }
+
+    #[test]
+    fn figure5_aggregate_is_articulation_node() {
+        // "the equivalence node that is the parent of the
+        // grouping/aggregation node in the expression DAG is a natural
+        // articulation point" (§4.2).
+        let cat = catalog();
+        let mut memo = Memo::new();
+        let tree = figure5_tree(&cat);
+        let root = memo.insert_tree(&tree);
+        memo.set_root(root);
+        let arts = articulation_groups(&memo, root);
+        // Find the aggregate group.
+        let agg_group = memo
+            .groups()
+            .find(|&g| {
+                memo.group_ops(g)
+                    .iter()
+                    .any(|&o| matches!(memo.op(o).op, spacetime_algebra::OpKind::Aggregate { .. }))
+            })
+            .unwrap();
+        assert!(
+            arts.contains(&agg_group),
+            "aggregate group must be an articulation node; got {arts:?}"
+        );
+        // In a pure tree every internal equivalence node is an articulation
+        // node; the point is the *aggregate* stays one even after rules add
+        // alternatives (tested in the optimizer's shielding tests).
+    }
+
+    #[test]
+    fn leaf_only_dag_has_no_articulation_nodes() {
+        let cat = catalog();
+        let mut memo = Memo::new();
+        let r = ExprNode::scan(&cat, "R").unwrap();
+        let root = memo.insert_tree(&r);
+        assert!(articulation_groups(&memo, root).is_empty());
+    }
+
+    #[test]
+    fn brute_force_articulation_cross_check() {
+        // Compare the Tarjan result against literal node-removal
+        // disconnection on the Figure 5 DAG.
+        let cat = catalog();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&figure5_tree(&cat));
+        let arts = articulation_groups(&memo, root);
+        let scope = descendant_groups(&memo, root);
+        for &g in &scope {
+            if g == root {
+                continue;
+            }
+            // Remove g: can we still reach every other group from the root
+            // (treating the graph as undirected)?
+            let connected = {
+                let mut seen = std::collections::BTreeSet::new();
+                let mut stack = vec![root];
+                while let Some(cur) = stack.pop() {
+                    if cur == g || !seen.insert(cur) {
+                        continue;
+                    }
+                    for op in memo.group_ops(cur) {
+                        for c in memo.op_children(op) {
+                            stack.push(c);
+                        }
+                    }
+                    // Undirected: also walk to parents.
+                    for &other in &scope {
+                        for op in memo.group_ops(other) {
+                            if memo.op_children(op).contains(&cur) {
+                                stack.push(other);
+                            }
+                        }
+                    }
+                }
+                scope.iter().filter(|&&x| x != g).all(|x| seen.contains(x))
+            };
+            assert_eq!(
+                !connected,
+                arts.contains(&g),
+                "articulation disagreement at {g}"
+            );
+        }
+    }
+}

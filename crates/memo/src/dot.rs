@@ -1,0 +1,177 @@
+//! Rendering the expression DAG — the paper's Figure 2 output.
+//!
+//! [`DagNames`] assigns the paper-style display names (`N1…` for
+//! equivalence nodes, `E1…` for operation nodes) in breadth-first order
+//! from the root; [`render_text`] prints the Figure-2-like listing and
+//! [`to_dot`] emits Graphviz.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use spacetime_storage::Schema;
+
+use crate::memo::{GroupId, Memo, OpId};
+
+/// Stable display names for a DAG's nodes.
+#[derive(Debug, Clone, Default)]
+pub struct DagNames {
+    /// Group → `N<k>`.
+    pub groups: HashMap<GroupId, String>,
+    /// Operation node → `E<k>`.
+    pub ops: HashMap<OpId, String>,
+    /// Groups in naming order.
+    pub group_order: Vec<GroupId>,
+    /// Ops in naming order.
+    pub op_order: Vec<OpId>,
+}
+
+impl DagNames {
+    /// Assign names breadth-first from `root` (so the root is `N1`,
+    /// matching the paper's numbering style).
+    pub fn assign(memo: &Memo, root: GroupId) -> DagNames {
+        let mut names = DagNames::default();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(memo.find(root));
+        while let Some(g) = queue.pop_front() {
+            if names.groups.contains_key(&g) {
+                continue;
+            }
+            let n = names.groups.len() + 1;
+            names.groups.insert(g, format!("N{n}"));
+            names.group_order.push(g);
+            for op in memo.group_ops(g) {
+                let e = names.ops.len() + 1;
+                names.ops.entry(op).or_insert_with(|| format!("E{e}"));
+                names.op_order.push(op);
+                for c in memo.op_children(op) {
+                    if !names.groups.contains_key(&c) {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        names
+    }
+
+    /// Display name of a group.
+    pub fn group(&self, g: GroupId) -> &str {
+        self.groups.get(&g).map(String::as_str).unwrap_or("N?")
+    }
+
+    /// Display name of an operation node.
+    pub fn op(&self, o: OpId) -> &str {
+        self.ops.get(&o).map(String::as_str).unwrap_or("E?")
+    }
+}
+
+fn op_label(memo: &Memo, op: OpId) -> String {
+    let children = memo.op_children(op);
+    let schemas: Vec<&Schema> = children.iter().map(|&c| memo.schema(c)).collect();
+    memo.op(op).op.describe(&schemas)
+}
+
+/// Figure-2-style text listing of the DAG under `root`.
+pub fn render_text(memo: &Memo, root: GroupId) -> String {
+    let names = DagNames::assign(memo, root);
+    let mut out = String::new();
+    for &g in &names.group_order {
+        let marker = if memo.root() == Some(memo.find(g)) {
+            " (root)"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "{}{}: [{}]", names.group(g), marker, memo.schema(g));
+        for op in memo.group_ops(g) {
+            let kids: Vec<&str> = memo
+                .op_children(op)
+                .iter()
+                .map(|&c| names.group(c))
+                .collect();
+            let arrow = if kids.is_empty() {
+                String::new()
+            } else {
+                format!(" -> {}", kids.join(", "))
+            };
+            let _ = writeln!(out, "  {}: {}{}", names.op(op), op_label(memo, op), arrow);
+        }
+    }
+    out
+}
+
+/// Graphviz rendering of the DAG under `root` (equivalence nodes as boxes,
+/// operation nodes as ellipses).
+pub fn to_dot(memo: &Memo, root: GroupId) -> String {
+    let names = DagNames::assign(memo, root);
+    let mut out = String::from("digraph expression_dag {\n  rankdir=BT;\n");
+    for &g in &names.group_order {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, style=bold, label=\"{}\"];",
+            names.group(g),
+            names.group(g),
+        );
+        for op in memo.group_ops(g) {
+            let label = op_label(memo, op).replace('"', "'");
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape=ellipse, label=\"{label}\"];",
+                names.op(op)
+            );
+            let _ = writeln!(out, "  \"{}\" -> \"{}\";", names.op(op), names.group(g));
+            for c in memo.op_children(op) {
+                let _ = writeln!(out, "  \"{}\" -> \"{}\";", names.group(c), names.op(op));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacetime_algebra::ExprNode;
+    use spacetime_storage::{Catalog, DataType, Schema};
+
+    fn setup() -> (Memo, GroupId) {
+        let mut cat = Catalog::new();
+        for name in ["A", "B"] {
+            cat.create_table(name, Schema::of_table(name, &[("x", DataType::Int)]))
+                .unwrap();
+        }
+        let a = ExprNode::scan(&cat, "A").unwrap();
+        let b = ExprNode::scan(&cat, "B").unwrap();
+        let j = ExprNode::join_on(a, b, &[("A.x", "B.x")]).unwrap();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&j);
+        memo.set_root(root);
+        (memo, root)
+    }
+
+    #[test]
+    fn names_start_at_root() {
+        let (memo, root) = setup();
+        let names = DagNames::assign(&memo, root);
+        assert_eq!(names.group(root), "N1");
+        assert_eq!(names.group_order.len(), 3);
+        assert_eq!(names.op_order.len(), 3);
+    }
+
+    #[test]
+    fn text_rendering_lists_all_nodes() {
+        let (memo, root) = setup();
+        let text = render_text(&memo, root);
+        assert!(text.contains("N1 (root)"), "{text}");
+        assert!(text.contains("Join (A.x = B.x) -> N2, N3"), "{text}");
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let (memo, root) = setup();
+        let dot = to_dot(&memo, root);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches("shape=box").count(), 3);
+        assert_eq!(dot.matches("shape=ellipse").count(), 3);
+    }
+}

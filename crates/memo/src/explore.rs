@@ -1,0 +1,341 @@
+//! The exploration driver: apply equivalence rules to fixpoint.
+//!
+//! This is the step rule-based optimizers perform to "generate an
+//! expression DAG representation of the set of equivalent expression trees
+//! … by using a set of equivalence rules, starting from the given query
+//! expression tree" (§2.1). Rules are re-applied in passes because a rule
+//! firing on one node can enable another rule elsewhere (e.g. a pushed-down
+//! selection exposes a join for associativity); hash-consing makes repeated
+//! applications idempotent, so passes run until the memo's structural
+//! version stops changing or the operation-node budget is reached.
+
+use spacetime_storage::{Catalog, StorageResult};
+
+use crate::memo::{Memo, OpId};
+use crate::rules::{default_rules, insert_new_expr, RuleSet};
+
+/// Statistics from one exploration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Full passes over the operation nodes.
+    pub passes: usize,
+    /// Rule applications that produced at least one expression.
+    pub fruitful_applications: usize,
+    /// Live operation nodes at the end.
+    pub final_ops: usize,
+    /// Live groups at the end.
+    pub final_groups: usize,
+    /// True when the op budget stopped exploration before fixpoint.
+    pub budget_exhausted: bool,
+}
+
+/// Default budget: more than enough for the paper's views, small enough to
+/// keep pathological rule interactions bounded.
+pub const DEFAULT_MAX_OPS: usize = 20_000;
+
+/// Explore with the default rule set and budget.
+pub fn explore(memo: &mut Memo, catalog: &Catalog) -> StorageResult<ExploreStats> {
+    explore_with(memo, catalog, &default_rules(), DEFAULT_MAX_OPS)
+}
+
+/// Explore with a custom rule set and operation-node budget.
+pub fn explore_with(
+    memo: &mut Memo,
+    catalog: &Catalog,
+    rules: &RuleSet,
+    max_ops: usize,
+) -> StorageResult<ExploreStats> {
+    let mut stats = ExploreStats::default();
+    const MAX_PASSES: usize = 32;
+    loop {
+        let version_before = memo.version();
+        stats.passes += 1;
+        // Only ops that existed at the start of the pass; new ones get
+        // their turn next pass.
+        let op_ids: Vec<OpId> = memo.all_op_ids().collect();
+        'ops: for op_id in op_ids {
+            if !memo.op(op_id).alive {
+                continue;
+            }
+            for rule in rules {
+                if !memo.op(op_id).alive {
+                    continue 'ops;
+                }
+                let produced = rule.apply(memo, op_id, catalog);
+                if produced.is_empty() {
+                    continue;
+                }
+                stats.fruitful_applications += 1;
+                let target = memo.op_group(op_id);
+                for expr in &produced {
+                    insert_new_expr(memo, expr, target)?;
+                }
+                if memo.raw_op_count() >= max_ops {
+                    stats.budget_exhausted = true;
+                    break 'ops;
+                }
+            }
+        }
+        if memo.version() == version_before || stats.budget_exhausted || stats.passes >= MAX_PASSES
+        {
+            break;
+        }
+    }
+    stats.final_ops = memo.op_count();
+    stats.final_groups = memo.group_count();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memo::GroupId;
+    use spacetime_algebra::{AggExpr, AggFunc, CmpOp, ExprNode, ExprTree, OpKind, ScalarExpr};
+    use spacetime_storage::{DataType, Schema};
+
+    fn emp_dept_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "Emp",
+            Schema::of_table(
+                "Emp",
+                &[
+                    ("EName", DataType::Str),
+                    ("DName", DataType::Str),
+                    ("Salary", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat.create_table(
+            "Dept",
+            Schema::of_table(
+                "Dept",
+                &[
+                    ("DName", DataType::Str),
+                    ("MName", DataType::Str),
+                    ("Budget", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat.declare_key("Dept", &["DName"]).unwrap();
+        cat
+    }
+
+    /// Figure 1 (right): Select(SumSal>Budget)(Agg(SUM Sal BY DName,Budget)(Emp ⋈ Dept)).
+    fn problem_dept_tree(cat: &Catalog) -> ExprTree {
+        let emp = ExprNode::scan(cat, "Emp").unwrap();
+        let dept = ExprNode::scan(cat, "Dept").unwrap();
+        let join = ExprNode::join_on(emp, dept, &[("Emp.DName", "Dept.DName")]).unwrap();
+        let agg = ExprNode::aggregate(
+            join,
+            vec![3, 5],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(2), "SalSum")],
+        )
+        .unwrap();
+        ExprNode::select(
+            agg,
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(2), ScalarExpr::col(1)),
+        )
+        .unwrap()
+    }
+
+    /// Find a group containing an Aggregate over a Scan of `table` — the
+    /// paper's N3 (SumOfSals) shape.
+    fn find_agg_over_scan(memo: &Memo, table: &str) -> Option<GroupId> {
+        for g in memo.groups() {
+            for op_id in memo.group_ops(g) {
+                let node = memo.op(op_id);
+                if let OpKind::Aggregate { .. } = node.op {
+                    let child = memo.find(node.children[0]);
+                    for c_op in memo.group_ops(child) {
+                        if matches!(&memo.op(c_op).op, OpKind::Scan { table: t } if t == table) {
+                            return Some(g);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn exploration_reaches_fixpoint() {
+        let cat = emp_dept_catalog();
+        let mut memo = Memo::new();
+        let tree = problem_dept_tree(&cat);
+        let root = memo.insert_tree(&tree);
+        memo.set_root(root);
+        let stats = explore(&mut memo, &cat).unwrap();
+        assert!(!stats.budget_exhausted);
+        assert!(stats.passes >= 2, "needs at least one fruitful pass");
+        assert!(memo.count_trees(root) >= 2, "alternative trees discovered");
+    }
+
+    #[test]
+    fn eager_aggregation_derives_figure1_left_tree() {
+        // The crucial reproduction check: exploration must discover the
+        // SumOfSals shape (Aggregate directly over Emp), i.e. the paper's
+        // equivalence node N3.
+        let cat = emp_dept_catalog();
+        let mut memo = Memo::new();
+        let tree = problem_dept_tree(&cat);
+        let root = memo.insert_tree(&tree);
+        memo.set_root(root);
+        explore(&mut memo, &cat).unwrap();
+        let n3 = find_agg_over_scan(&memo, "Emp");
+        assert!(n3.is_some(), "N3 (SumOfSals) must appear in the DAG");
+        // And it is grouped by DName alone with a SUM.
+        let g = n3.unwrap();
+        let has_sum_by_dname = memo.group_ops(g).iter().any(|&o| {
+            matches!(
+                &memo.op(o).op,
+                OpKind::Aggregate { group_by, aggs }
+                    if group_by.len() == 1 && aggs.len() == 1 && aggs[0].func == AggFunc::Sum
+            )
+        });
+        assert!(has_sum_by_dname);
+    }
+
+    #[test]
+    fn without_key_no_eager_aggregation() {
+        // Strip Dept's key: pushing the aggregate below the join is no
+        // longer sound, and the rule must not fire.
+        let mut cat = emp_dept_catalog();
+        cat.table_mut("Dept").unwrap().keys.clear();
+        let mut memo = Memo::new();
+        let tree = problem_dept_tree(&cat);
+        let root = memo.insert_tree(&tree);
+        memo.set_root(root);
+        explore(&mut memo, &cat).unwrap();
+        assert!(
+            find_agg_over_scan(&memo, "Emp").is_none(),
+            "no N3 without the Dept key"
+        );
+    }
+
+    #[test]
+    fn join_chain_explores_orders() {
+        // R1(x,y) ⋈ R2(y,z) ⋈ R3(z,w): §3's SPJ example. The DAG must
+        // contain groups for R1⋈R2 and R2⋈R3 at minimum.
+        let mut cat = Catalog::new();
+        for (name, c1, c2) in [("R1", "x", "y"), ("R2", "y", "z"), ("R3", "z", "w")] {
+            cat.create_table(
+                name,
+                Schema::of_table(name, &[(c1, DataType::Int), (c2, DataType::Int)]),
+            )
+            .unwrap();
+        }
+        let r1 = ExprNode::scan(&cat, "R1").unwrap();
+        let r2 = ExprNode::scan(&cat, "R2").unwrap();
+        let r3 = ExprNode::scan(&cat, "R3").unwrap();
+        let j12 = ExprNode::join_on(r1, r2, &[("y", "R2.y")]).unwrap();
+        let j123 = ExprNode::join_on(j12, r3, &[("z", "R3.z")]).unwrap();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&j123);
+        memo.set_root(root);
+        let before = memo.group_count();
+        explore(&mut memo, &cat).unwrap();
+        assert!(memo.group_count() > before, "new join-order groups appear");
+        // A right-deep alternative exists in the root group.
+        let right_deep = memo.group_ops(root).iter().any(|&o| {
+            let node = memo.op(o);
+            matches!(node.op, OpKind::Join { .. })
+                && memo
+                    .group_ops(memo.find(node.children[1]))
+                    .iter()
+                    .any(|&inner| matches!(memo.op(inner).op, OpKind::Join { .. }))
+        });
+        assert!(right_deep, "associativity produced a right-deep tree");
+        assert!(memo.count_trees(root) >= 3);
+    }
+
+    #[test]
+    fn all_extracted_trees_evaluate_equal() {
+        use spacetime_algebra::eval::eval_uncharged;
+        use spacetime_storage::tuple;
+        use spacetime_storage::IoMeter;
+        let mut cat = emp_dept_catalog();
+        let mut io = IoMeter::new();
+        for (e, d, s) in [
+            ("alice", "Sales", 100),
+            ("bob", "Sales", 80),
+            ("carol", "Eng", 120),
+        ] {
+            cat.table_mut("Emp")
+                .unwrap()
+                .relation
+                .insert(tuple![e, d, s], 1, &mut io)
+                .unwrap();
+        }
+        for (d, m, b) in [("Sales", "mary", 150), ("Eng", "nick", 200)] {
+            cat.table_mut("Dept")
+                .unwrap()
+                .relation
+                .insert(tuple![d, m, b], 1, &mut io)
+                .unwrap();
+        }
+        let mut memo = Memo::new();
+        let tree = problem_dept_tree(&cat);
+        let root = memo.insert_tree(&tree);
+        memo.set_root(root);
+        explore(&mut memo, &cat).unwrap();
+        let reference = eval_uncharged(&tree, &cat).unwrap();
+        let trees = memo.extract_trees(root, 50);
+        assert!(trees.len() >= 2);
+        for t in &trees {
+            let got = eval_uncharged(t, &cat).unwrap();
+            assert_eq!(got, reference, "tree differs:\n{}", t.render());
+        }
+    }
+
+    /// The inverse direction: starting from the Figure-1 *left* tree
+    /// (aggregate below the join), lazy aggregation must derive the
+    /// aggregate-over-join form, converging to the same DAG shape.
+    #[test]
+    fn lazy_aggregation_derives_figure1_right_tree() {
+        let cat = emp_dept_catalog();
+        let emp = ExprNode::scan(&cat, "Emp").unwrap();
+        let sum_of_sals = ExprNode::aggregate(
+            emp,
+            vec![1],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(2), "SalSum")],
+        )
+        .unwrap();
+        let dept = ExprNode::scan(&cat, "Dept").unwrap();
+        let join = ExprNode::join_on(sum_of_sals, dept, &[("DName", "Dept.DName")]).unwrap();
+        let tree = ExprNode::select(
+            join,
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(1), ScalarExpr::col(4)),
+        )
+        .unwrap();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&tree);
+        memo.set_root(root);
+        explore(&mut memo, &cat).unwrap();
+        // An aggregate over a join group must now exist somewhere.
+        let has_agg_over_join = memo.groups().any(|g| {
+            memo.group_ops(g).iter().any(|&o| {
+                matches!(memo.op(o).op, OpKind::Aggregate { .. })
+                    && memo
+                        .group_ops(memo.op_children(o)[0])
+                        .iter()
+                        .any(|&c| matches!(memo.op(c).op, OpKind::Join { .. }))
+            })
+        });
+        assert!(has_agg_over_join, "lazy aggregation must fire");
+        assert!(memo.count_trees(memo.find(root)) >= 2);
+    }
+
+    #[test]
+    fn budget_stops_exploration() {
+        let cat = emp_dept_catalog();
+        let mut memo = Memo::new();
+        let tree = problem_dept_tree(&cat);
+        let root = memo.insert_tree(&tree);
+        memo.set_root(root);
+        let stats = explore_with(&mut memo, &cat, &default_rules(), 6).unwrap();
+        assert!(stats.budget_exhausted);
+    }
+}

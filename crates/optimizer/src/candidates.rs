@@ -1,0 +1,165 @@
+//! The space of view sets (§3.1).
+//!
+//! > *"Given a view V, let E_V denote the set of all equivalence nodes in
+//! > D_V, other than the leaf nodes. A view set is a subset of E_V. The
+//! > space of possible views to materialize is the set of all subsets of
+//! > E_V that include the equivalence node corresponding to V."*
+
+use std::collections::BTreeSet;
+
+use spacetime_memo::{descendant_groups, GroupId, Memo};
+
+/// A set of materialized equivalence nodes (canonical group ids). Always
+/// includes the root; leaves (base relations) are implicitly materialized
+/// and never listed.
+pub type ViewSet = BTreeSet<GroupId>;
+
+/// The candidate equivalence nodes for additional materialization: every
+/// non-leaf descendant of the root, excluding the root itself (which is
+/// always materialized).
+pub fn candidate_groups(memo: &Memo, root: GroupId) -> Vec<GroupId> {
+    let root = memo.find(root);
+    descendant_groups(memo, root)
+        .into_iter()
+        .filter(|&g| g != root && !memo.is_leaf(g))
+        .collect()
+}
+
+/// Enumerate all view sets over the given candidates (the root is added to
+/// each). `max_extra` caps the number of *additional* views per set
+/// (`None` = unbounded, the full 2^n space).
+pub fn enumerate_view_sets(
+    root: GroupId,
+    candidates: &[GroupId],
+    max_extra: Option<usize>,
+) -> Vec<ViewSet> {
+    let n = candidates.len();
+    assert!(
+        n < 63,
+        "view-set space 2^{n} is too large to enumerate exhaustively"
+    );
+    let mut out = Vec::with_capacity(1 << n);
+    for mask in 0u64..(1u64 << n) {
+        if let Some(cap) = max_extra {
+            if mask.count_ones() as usize > cap {
+                continue;
+            }
+        }
+        let mut set = ViewSet::new();
+        set.insert(root);
+        for (i, &g) in candidates.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                set.insert(g);
+            }
+        }
+        out.push(set);
+    }
+    out
+}
+
+/// Render a view set with the given namer (used by reports).
+pub fn render_view_set(set: &ViewSet, root: GroupId, name: impl Fn(GroupId) -> String) -> String {
+    let extras: Vec<String> = set
+        .iter()
+        .filter(|&&g| g != root)
+        .map(|&g| name(g))
+        .collect();
+    if extras.is_empty() {
+        "∅".to_string()
+    } else {
+        format!("{{{}}}", extras.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacetime_algebra::{ExprNode, JoinCondition, OpKind};
+    use spacetime_memo::{explore, Memo};
+    use spacetime_storage::{Catalog, DataType, Schema};
+
+    fn chain_memo() -> (Catalog, Memo, GroupId) {
+        let mut cat = Catalog::new();
+        for (name, c1, c2) in [("R1", "a", "x"), ("R2", "x", "y"), ("R3", "y", "b")] {
+            cat.create_table(
+                name,
+                Schema::of_table(name, &[(c1, DataType::Int), (c2, DataType::Int)]),
+            )
+            .unwrap();
+        }
+        let r1 = ExprNode::scan(&cat, "R1").unwrap();
+        let r2 = ExprNode::scan(&cat, "R2").unwrap();
+        let r3 = ExprNode::scan(&cat, "R3").unwrap();
+        let j12 = ExprNode::join_on(r1, r2, &[("x", "R2.x")]).unwrap();
+        let j = ExprNode::join_on(j12, r3, &[("y", "R3.y")]).unwrap();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&j);
+        memo.set_root(root);
+        explore(&mut memo, &cat).unwrap();
+        let root = memo.find(root);
+        (cat, memo, root)
+    }
+
+    #[test]
+    fn candidates_exclude_root_and_leaves() {
+        let (_, memo, root) = chain_memo();
+        let cands = candidate_groups(&memo, root);
+        assert!(!cands.contains(&root));
+        for &c in &cands {
+            assert!(!memo.is_leaf(c));
+        }
+        // §3's example: for R1⋈R2⋈R3 the candidate *join* subviews are
+        // R1⋈R2, R2⋈R3 and (via exploration) R1⋈R3-style intermediates.
+        let join_cands = cands
+            .iter()
+            .filter(|&&g| {
+                memo.group_ops(g)
+                    .iter()
+                    .any(|&o| matches!(memo.op(o).op, OpKind::Join { .. }))
+            })
+            .count();
+        assert!(join_cands >= 2, "at least R1⋈R2 and R2⋈R3: {join_cands}");
+    }
+
+    #[test]
+    fn enumeration_counts_match() {
+        let root = GroupId(99);
+        let cands = [GroupId(1), GroupId(2), GroupId(3)];
+        let all = enumerate_view_sets(root, &cands, None);
+        assert_eq!(all.len(), 8);
+        assert!(all.iter().all(|s| s.contains(&root)));
+        let capped = enumerate_view_sets(root, &cands, Some(1));
+        assert_eq!(capped.len(), 4, "∅ plus three singletons");
+    }
+
+    #[test]
+    fn paper_spj_example_lists_seven_nonempty_choices() {
+        // "There are several choices of sets of additional views to
+        // maintain, namely, {}, {R1⋈R2}, {R2⋈R3}, {R1⋈R3}, {R1⋈R2, R2⋈R3},
+        // {R2⋈R3, R1⋈R3}, {R1⋈R2, R1⋈R3}" — with 3 join intermediates the
+        // enumeration covers all of these (2³ = 8 sets including both-pairs
+        // combinations).
+        let root = GroupId(0);
+        let joins = [GroupId(1), GroupId(2), GroupId(3)];
+        let sets = enumerate_view_sets(root, &joins, Some(2));
+        // ∅ + 3 singletons + 3 pairs = 7.
+        assert_eq!(sets.len(), 7);
+    }
+
+    #[test]
+    fn render_view_set_formats() {
+        let root = GroupId(0);
+        let mut s = ViewSet::new();
+        s.insert(root);
+        assert_eq!(render_view_set(&s, root, |g| format!("N{}", g.0)), "∅");
+        s.insert(GroupId(3));
+        assert_eq!(render_view_set(&s, root, |g| format!("N{}", g.0)), "{N3}");
+    }
+
+    #[test]
+    fn join_condition_helper_compiles() {
+        // Silence unused-import pedantry while documenting intent: the
+        // candidate space is operator-agnostic.
+        let _ = JoinCondition::on(vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Key-based query elimination: group-complete deltas.
+//!
+//! §3.6's Q3d observation:
+//!
+//! > *"Query Q3d can be evaluated particularly efficiently on the update
+//! > track N1,E1,N2,E3,N4,E5,N6: Since DName is a key for the Dept
+//! > relation, the result propagated up along E5 and N4 contains all the
+//! > tuples in the group. Thus no I/O is generated for Q3d."*
+//!
+//! [`delta_group_complete`] decides, for a node on an update track and a
+//! grouping column set `C`, whether the delta arriving at that node is
+//! guaranteed to contain **every** tuple of each `C`-group it touches. The
+//! sufficient conditions, applied down the track toward the updated leaf:
+//!
+//! * at the updated **leaf**: `C` covers a candidate key (each touched
+//!   group holds exactly the updated tuples);
+//! * through a **select**: completeness is preserved (a whole group passes
+//!   or is filtered consistently tuple-by-tuple — tuples outside the
+//!   selection are not in the node's output at all);
+//! * through a **project**: `C` must map to plain column references;
+//! * through a **join** where the delta arrives on side `s`: all of `C`
+//!   must come from side `s`, the mapped set must determine `s`'s join key
+//!   (contain a key of `s`), and `s`'s delta must be complete w.r.t. the
+//!   mapped set — the join rule then pairs the delta with *all* matching
+//!   tuples of the other side, keeping groups whole.
+
+use std::collections::BTreeSet;
+
+use spacetime_algebra::{cols_contain_key, OpKind, ScalarExpr};
+use spacetime_memo::{GroupId, Memo, OpId};
+use spacetime_storage::Catalog;
+
+use crate::tracks::UpdateTrack;
+
+/// Whether the delta arriving at `group` (on `track`, originating from
+/// `updated_table`) is complete w.r.t. the column set `cols` of `group`'s
+/// output.
+pub fn delta_group_complete(
+    memo: &Memo,
+    catalog: &Catalog,
+    track: &UpdateTrack,
+    group: GroupId,
+    cols: &[usize],
+    updated_table: &str,
+) -> bool {
+    let cols: BTreeSet<usize> = cols.iter().copied().collect();
+    complete_at(
+        memo,
+        catalog,
+        track,
+        memo.find(group),
+        &cols,
+        updated_table,
+        0,
+    )
+}
+
+fn complete_at(
+    memo: &Memo,
+    catalog: &Catalog,
+    track: &UpdateTrack,
+    group: GroupId,
+    cols: &BTreeSet<usize>,
+    updated_table: &str,
+    depth: usize,
+) -> bool {
+    if depth > 64 {
+        return false; // degenerate DAG; be conservative
+    }
+    let group = memo.find(group);
+    // Leaf: complete iff the columns cover a key of the (updated) table.
+    if memo.is_leaf(group) {
+        return leaf_complete(memo, catalog, group, cols, updated_table);
+    }
+    let Some(&op) = track.choices.get(&group) else {
+        // Not on the track: no delta arrives here at all.
+        return false;
+    };
+    op_complete(memo, catalog, track, op, cols, updated_table, depth)
+}
+
+fn leaf_complete(
+    memo: &Memo,
+    catalog: &Catalog,
+    group: GroupId,
+    cols: &BTreeSet<usize>,
+    updated_table: &str,
+) -> bool {
+    for op in memo.group_ops(group) {
+        if let OpKind::Scan { table } = &memo.op(op).op {
+            if table == updated_table {
+                let tree = memo.extract_one(group);
+                let cols_vec: Vec<usize> = cols.iter().copied().collect();
+                return cols_contain_key(&tree, catalog, &cols_vec);
+            }
+        }
+    }
+    false
+}
+
+fn op_complete(
+    memo: &Memo,
+    catalog: &Catalog,
+    track: &UpdateTrack,
+    op: OpId,
+    cols: &BTreeSet<usize>,
+    updated_table: &str,
+    depth: usize,
+) -> bool {
+    let node = memo.op(op);
+    let children = memo.op_children(op);
+    match &node.op {
+        OpKind::Scan { table } => {
+            table == updated_table && {
+                let g = memo.op_group(op);
+                leaf_complete(memo, catalog, g, cols, updated_table)
+            }
+        }
+        OpKind::Select { .. } | OpKind::Distinct => complete_at(
+            memo,
+            catalog,
+            track,
+            children[0],
+            cols,
+            updated_table,
+            depth + 1,
+        ),
+        OpKind::Project { exprs } => {
+            let mapped: Option<BTreeSet<usize>> = cols
+                .iter()
+                .map(|&c| match exprs.get(c) {
+                    Some((ScalarExpr::Col(i), _)) => Some(*i),
+                    _ => None,
+                })
+                .collect();
+            match mapped {
+                Some(m) => complete_at(
+                    memo,
+                    catalog,
+                    track,
+                    children[0],
+                    &m,
+                    updated_table,
+                    depth + 1,
+                ),
+                None => false,
+            }
+        }
+        OpKind::Join { condition } => {
+            let (a, b) = (children[0], children[1]);
+            let la = memo.schema(a).arity();
+            let a_affected = track.affected.contains(&memo.find(a));
+            let b_affected = track.affected.contains(&memo.find(b));
+            if a_affected && b_affected {
+                // Both sides carry deltas: the pairing argument breaks.
+                return false;
+            }
+            // Columns equated by the join condition are interchangeable:
+            // canonicalize C onto the delta side where possible (a pulled
+            // aggregate may group on Emp.DName ≡ Dept.DName).
+            let mut cols = cols.clone();
+            for &(l, r) in &condition.equi {
+                if a_affected && cols.contains(&(r + la)) {
+                    cols.remove(&(r + la));
+                    cols.insert(l);
+                }
+                if b_affected && cols.contains(&l) {
+                    cols.remove(&l);
+                    cols.insert(r + la);
+                }
+            }
+            let cols = &cols;
+            if a_affected {
+                // All of C must come from the delta side and cover a key
+                // of it (so the group determines the join key, and the
+                // other side contributes all matches).
+                if !cols.iter().all(|&c| c < la) {
+                    return false;
+                }
+                let mapped: BTreeSet<usize> = cols.clone();
+                let side_tree = memo.extract_one(a);
+                let cols_vec: Vec<usize> = mapped.iter().copied().collect();
+                cols_contain_key(&side_tree, catalog, &cols_vec)
+                    && complete_at(memo, catalog, track, a, &mapped, updated_table, depth + 1)
+            } else if b_affected {
+                if !cols.iter().all(|&c| c >= la) {
+                    return false;
+                }
+                let mapped: BTreeSet<usize> = cols.iter().map(|&c| c - la).collect();
+                let side_tree = memo.extract_one(b);
+                let cols_vec: Vec<usize> = mapped.iter().copied().collect();
+                cols_contain_key(&side_tree, catalog, &cols_vec)
+                    && complete_at(memo, catalog, track, b, &mapped, updated_table, depth + 1)
+            } else {
+                false
+            }
+        }
+        OpKind::Aggregate { group_by, .. } => {
+            // Completeness through an aggregate: each output row *is* its
+            // group; the delta contains whole output groups iff the mapped
+            // grouping columns are complete below.
+            let mapped: Option<BTreeSet<usize>> =
+                cols.iter().map(|&c| group_by.get(c).copied()).collect();
+            match mapped {
+                Some(m) => complete_at(
+                    memo,
+                    catalog,
+                    track,
+                    children[0],
+                    &m,
+                    updated_table,
+                    depth + 1,
+                ),
+                None => false,
+            }
+        }
+    }
+}

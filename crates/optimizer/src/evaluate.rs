@@ -1,0 +1,199 @@
+//! Evaluating one view set (§3.4–§3.5 inner loop).
+//!
+//! For each transaction type: enumerate the update tracks, price each
+//! track's query set (with multi-query optimization) under the view set's
+//! marking, keep the cheapest, and add the cost of physically applying the
+//! transaction's deltas to every materialized view. The view set's figure
+//! of merit is the workload-weighted average.
+
+use spacetime_cost::{BatchQuery, Cost, CostCtx, Marking, TransactionType};
+use spacetime_memo::{GroupId, Memo};
+use spacetime_storage::Catalog;
+
+use crate::candidates::ViewSet;
+use crate::tracks::{enumerate_tracks, track_queries, PosedQuery, UpdateTrack};
+
+/// Evaluation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Whether the root view's own update-application cost is counted.
+    /// The paper's §3.6 tables exclude it ("We do not count the cost of
+    /// updating the database relations, or the top-level view
+    /// ProblemDept"), and it is identical across view sets anyway.
+    pub include_root_update_cost: bool,
+    /// Cap on enumerated tracks per (view set, transaction).
+    pub max_tracks: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            include_root_update_cost: false,
+            max_tracks: 4096,
+        }
+    }
+}
+
+/// One priced update track.
+#[derive(Debug, Clone)]
+pub struct TrackEval {
+    /// The track.
+    pub track: UpdateTrack,
+    /// Queries the track poses.
+    pub queries: Vec<PosedQuery>,
+    /// Multi-query-optimized query cost.
+    pub query_cost: Cost,
+}
+
+/// One transaction type's evaluation under a view set.
+#[derive(Debug, Clone)]
+pub struct TxnEvaluation {
+    /// The transaction's name.
+    pub txn_name: String,
+    /// Its workload weight.
+    pub weight: f64,
+    /// All candidate tracks with their query costs.
+    pub tracks: Vec<TrackEval>,
+    /// Index of the cheapest track.
+    pub best_track: usize,
+    /// Cost of applying updates to the materialized views.
+    pub update_cost: Cost,
+    /// `min_track(query) + update`.
+    pub total: Cost,
+}
+
+/// A fully-priced view set.
+#[derive(Debug, Clone)]
+pub struct ViewSetEvaluation {
+    /// The view set (root included).
+    pub view_set: ViewSet,
+    /// Per-transaction breakdown.
+    pub per_txn: Vec<TxnEvaluation>,
+    /// Weighted-average cost `C(V)` (§3.5).
+    pub weighted: f64,
+}
+
+impl ViewSetEvaluation {
+    /// Drop per-track details except each transaction's best track —
+    /// exhaustive searches hold thousands of these, and the track lists
+    /// (with their query objects) dominate memory.
+    pub fn slim(&mut self) {
+        for txn in &mut self.per_txn {
+            if let Some(best) = txn.tracks.get(txn.best_track).cloned() {
+                txn.tracks = vec![best];
+                txn.best_track = 0;
+            }
+        }
+    }
+
+    /// The per-transaction total for a named transaction.
+    pub fn txn_total(&self, name: &str) -> Option<Cost> {
+        self.per_txn
+            .iter()
+            .find(|t| t.txn_name == name)
+            .map(|t| t.total)
+    }
+}
+
+/// Evaluate one view set under a workload.
+pub fn evaluate_view_set(
+    ctx: &mut CostCtx<'_>,
+    catalog: &Catalog,
+    root: GroupId,
+    view_set: &ViewSet,
+    txns: &[TransactionType],
+    config: &EvalConfig,
+) -> ViewSetEvaluation {
+    let memo = ctx.memo;
+    let root = memo.find(root);
+    let marked: Marking = view_set.iter().map(|&g| memo.find(g)).collect();
+
+    let mut per_txn = Vec::with_capacity(txns.len());
+    for txn in txns {
+        let updated: Vec<&str> = txn.updated_tables();
+        let tracks = enumerate_tracks(memo, root, view_set, &updated, config.max_tracks);
+
+        // Cost of performing updates to every materialized view (Figure
+        // 4's m_j) — track-independent.
+        let mut update_cost = Cost::ZERO;
+        for &g in view_set {
+            let g = memo.find(g);
+            if g == root && !config.include_root_update_cost {
+                continue;
+            }
+            update_cost += ctx.update_apply_cost(g, txn);
+        }
+
+        // Cheapest track (Figure 4's q_j).
+        let mut evals: Vec<TrackEval> = Vec::with_capacity(tracks.len());
+        for track in tracks {
+            // Sequential propagation: MQO shares queries *within* one
+            // table-update's propagation (same delta keys), then sums
+            // across the transaction's updates.
+            let mut query_cost = Cost::ZERO;
+            let mut queries = Vec::new();
+            for u in &txn.updates {
+                let qs = track_queries(ctx, catalog, &track, view_set, u);
+                let batch: Vec<BatchQuery> = qs
+                    .iter()
+                    .map(|q| BatchQuery {
+                        group: q.queried,
+                        cols: q.cols.clone(),
+                        probes: q.probes,
+                    })
+                    .collect();
+                query_cost += ctx.batch_query_cost(&batch, &marked);
+                queries.extend(qs);
+            }
+            evals.push(TrackEval {
+                track,
+                queries,
+                query_cost,
+            });
+        }
+        let best_track = evals
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.query_cost)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let best_query_cost = evals
+            .get(best_track)
+            .map(|e| e.query_cost)
+            .unwrap_or(Cost::ZERO);
+        per_txn.push(TxnEvaluation {
+            txn_name: txn.name.clone(),
+            weight: txn.weight,
+            tracks: evals,
+            best_track,
+            update_cost,
+            total: best_query_cost + update_cost,
+        });
+    }
+
+    let weighted = spacetime_cost::txn::weighted_average(
+        &per_txn
+            .iter()
+            .map(|t| (t.total.value(), t.weight))
+            .collect::<Vec<_>>(),
+    );
+    ViewSetEvaluation {
+        view_set: view_set.clone(),
+        per_txn,
+        weighted,
+    }
+}
+
+/// Convenience: evaluate with a fresh context.
+pub fn evaluate_view_set_fresh(
+    memo: &Memo,
+    catalog: &Catalog,
+    model: &dyn spacetime_cost::CostModel,
+    root: GroupId,
+    view_set: &ViewSet,
+    txns: &[TransactionType],
+    config: &EvalConfig,
+) -> ViewSetEvaluation {
+    let mut ctx = CostCtx::new(memo, catalog, model);
+    evaluate_view_set(&mut ctx, catalog, root, view_set, txns, config)
+}

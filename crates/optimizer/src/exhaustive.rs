@@ -1,0 +1,341 @@
+//! Algorithm `OptimalViewSet` (Figure 4, Theorem 3.1).
+//!
+//! Enumerate every view set (every subset of non-leaf equivalence nodes
+//! containing the root), price each with [`evaluate_view_set`], and return
+//! the one with the lowest workload-weighted maintenance cost. Valid under
+//! any monotonic cost model.
+
+use spacetime_cost::{CostCtx, CostModel, TransactionType};
+use spacetime_memo::{GroupId, Memo};
+use spacetime_storage::Catalog;
+
+use crate::candidates::{candidate_groups, enumerate_view_sets, ViewSet};
+use crate::evaluate::{evaluate_view_set, EvalConfig, ViewSetEvaluation};
+
+/// The result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The winning view set's full evaluation.
+    pub best: ViewSetEvaluation,
+    /// Every evaluated view set, sorted by weighted cost (ascending).
+    pub evaluated: Vec<ViewSetEvaluation>,
+    /// Number of view sets considered.
+    pub sets_considered: usize,
+}
+
+impl OptimizeOutcome {
+    /// The winning view set.
+    pub fn best_set(&self) -> &ViewSet {
+        &self.best.view_set
+    }
+
+    /// The additional views (best set minus the root).
+    pub fn additional_views(&self, memo: &Memo, root: GroupId) -> Vec<GroupId> {
+        let root = memo.find(root);
+        self.best
+            .view_set
+            .iter()
+            .copied()
+            .filter(|&g| memo.find(g) != root)
+            .collect()
+    }
+}
+
+/// Exhaustive `OptimalViewSet` over the full candidate space.
+pub fn optimal_view_set(
+    memo: &Memo,
+    catalog: &Catalog,
+    model: &dyn CostModel,
+    root: GroupId,
+    txns: &[TransactionType],
+    config: &EvalConfig,
+) -> OptimizeOutcome {
+    let candidates = candidate_groups(memo, root);
+    optimal_view_set_over(memo, catalog, model, root, &candidates, txns, config, None)
+}
+
+/// Exhaustive search over an explicit candidate list (used by the
+/// single-tree heuristic and the shielding decomposition), optionally
+/// capping the number of additional views per set.
+#[allow(clippy::too_many_arguments)]
+pub fn optimal_view_set_over(
+    memo: &Memo,
+    catalog: &Catalog,
+    model: &dyn CostModel,
+    root: GroupId,
+    candidates: &[GroupId],
+    txns: &[TransactionType],
+    config: &EvalConfig,
+    max_extra: Option<usize>,
+) -> OptimizeOutcome {
+    let root = memo.find(root);
+    let sets = enumerate_view_sets(root, candidates, max_extra);
+    let mut ctx = CostCtx::new(memo, catalog, model);
+    let mut evaluated: Vec<ViewSetEvaluation> = sets
+        .iter()
+        .map(|s| {
+            let mut e = evaluate_view_set(&mut ctx, catalog, root, s, txns, config);
+            e.slim();
+            e
+        })
+        .collect();
+    evaluated.sort_by(|a, b| {
+        a.weighted
+            .total_cmp(&b.weighted)
+            .then_with(|| a.view_set.len().cmp(&b.view_set.len()))
+            .then_with(|| a.view_set.cmp(&b.view_set))
+    });
+    let best = evaluated.first().cloned().expect("at least the empty set");
+    OptimizeOutcome {
+        best,
+        sets_considered: evaluated.len(),
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::candidates::render_view_set;
+    use spacetime_algebra::{AggExpr, AggFunc, CmpOp, ExprNode, ExprTree, OpKind, ScalarExpr};
+    use spacetime_cost::{Cost, PageIoCostModel};
+    use spacetime_storage::{DataType, Schema, TableStats};
+
+    /// The paper's sample database (§3.6): 1000 departments, 10000
+    /// employees, uniform distribution, hash index on DName everywhere.
+    pub fn paper_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "Emp",
+            Schema::of_table(
+                "Emp",
+                &[
+                    ("EName", DataType::Str),
+                    ("DName", DataType::Str),
+                    ("Salary", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat.declare_key("Emp", &["EName"]).unwrap();
+        cat.create_index("Emp", &["DName"]).unwrap();
+        cat.table_mut("Emp").unwrap().stats =
+            TableStats::declared(10_000, [(0, 10_000), (1, 1_000), (2, 2_000)]);
+        cat.create_table(
+            "Dept",
+            Schema::of_table(
+                "Dept",
+                &[
+                    ("DName", DataType::Str),
+                    ("MName", DataType::Str),
+                    ("Budget", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        cat.declare_key("Dept", &["DName"]).unwrap();
+        cat.table_mut("Dept").unwrap().stats =
+            TableStats::declared(1_000, [(0, 1_000), (1, 950), (2, 600)]);
+        cat
+    }
+
+    /// Figure 1 (right) tree for ProblemDept.
+    pub fn problem_dept_tree(cat: &Catalog) -> ExprTree {
+        let emp = ExprNode::scan(cat, "Emp").unwrap();
+        let dept = ExprNode::scan(cat, "Dept").unwrap();
+        let join = ExprNode::join_on(emp, dept, &[("Emp.DName", "Dept.DName")]).unwrap();
+        let agg = ExprNode::aggregate(
+            join,
+            vec![3, 5],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(2), "SalSum")],
+        )
+        .unwrap();
+        ExprNode::select(
+            agg,
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(2), ScalarExpr::col(1)),
+        )
+        .unwrap()
+    }
+
+    pub struct PaperSetup {
+        pub cat: Catalog,
+        pub memo: Memo,
+        pub root: GroupId,
+        pub n3: GroupId,
+        pub n4: GroupId,
+        pub txns: Vec<TransactionType>,
+    }
+
+    pub fn paper_setup() -> PaperSetup {
+        let cat = paper_catalog();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&problem_dept_tree(&cat));
+        memo.set_root(root);
+        spacetime_memo::explore(&mut memo, &cat).unwrap();
+        let root = memo.find(root);
+        let n3 = find_group(&memo, |op, m, o| {
+            matches!(op, OpKind::Aggregate { .. })
+                && m.group_ops(m.op_children(o)[0])
+                    .iter()
+                    .any(|&c| matches!(&m.op(c).op, OpKind::Scan { table } if table == "Emp"))
+        });
+        let n4 = find_group(&memo, |op, m, o| {
+            matches!(op, OpKind::Join { .. }) && m.op_children(o).iter().all(|&c| m.is_leaf(c))
+        });
+        let txns = vec![
+            TransactionType::modify(">Emp", "Emp", 1.0),
+            TransactionType::modify(">Dept", "Dept", 1.0),
+        ];
+        PaperSetup {
+            cat,
+            memo,
+            root,
+            n3,
+            n4,
+            txns,
+        }
+    }
+
+    fn find_group(
+        memo: &Memo,
+        pred: impl Fn(&OpKind, &Memo, spacetime_memo::OpId) -> bool,
+    ) -> GroupId {
+        for g in memo.groups() {
+            for op in memo.group_ops(g) {
+                if pred(&memo.op(op).op, memo, op) {
+                    return memo.find(g);
+                }
+            }
+        }
+        panic!("group not found");
+    }
+
+    fn eval_set(s: &PaperSetup, extras: &[GroupId]) -> ViewSetEvaluation {
+        let model = PageIoCostModel::default();
+        let mut set = ViewSet::new();
+        set.insert(s.root);
+        for &g in extras {
+            set.insert(s.memo.find(g));
+        }
+        let mut ctx = CostCtx::new(&s.memo, &s.cat, &model);
+        evaluate_view_set(
+            &mut ctx,
+            &s.cat,
+            s.root,
+            &set,
+            &s.txns,
+            &EvalConfig::default(),
+        )
+    }
+
+    /// Reproduces the paper's combined-cost table (T4) exactly:
+    ///
+    /// |        |  ∅  | {N3} | {N4} |
+    /// |--------|-----|------|------|
+    /// | >Emp   | 13  |  5   |  16  |
+    /// | >Dept  | 11  |  2   |  32  |
+    #[test]
+    fn paper_combined_cost_table_t4() {
+        let s = paper_setup();
+        let none = eval_set(&s, &[]);
+        assert_eq!(none.txn_total(">Emp").unwrap(), Cost(13.0));
+        assert_eq!(none.txn_total(">Dept").unwrap(), Cost(11.0));
+        assert_eq!(none.weighted, 12.0, "paper: 12 page I/Os for strategy (a)");
+
+        let with_n3 = eval_set(&s, &[s.n3]);
+        assert_eq!(with_n3.txn_total(">Emp").unwrap(), Cost(5.0));
+        assert_eq!(with_n3.txn_total(">Dept").unwrap(), Cost(2.0));
+        assert_eq!(
+            with_n3.weighted, 3.5,
+            "paper: an average of 3.5 page I/Os per transaction"
+        );
+
+        let with_n4 = eval_set(&s, &[s.n4]);
+        assert_eq!(with_n4.txn_total(">Emp").unwrap(), Cost(16.0));
+        assert_eq!(with_n4.txn_total(">Dept").unwrap(), Cost(32.0));
+        // "by making a wrong choice … the cost of view maintenance can be
+        // worse than not materializing any additional views."
+        assert!(with_n4.weighted > none.weighted);
+    }
+
+    /// The headline claim: strategy (b) ≈ 30% of strategy (a)'s cost.
+    #[test]
+    fn paper_headline_reduction() {
+        let s = paper_setup();
+        let none = eval_set(&s, &[]);
+        let with_n3 = eval_set(&s, &[s.n3]);
+        let ratio = with_n3.weighted / none.weighted;
+        assert!(
+            (ratio - 0.2917).abs() < 0.01,
+            "3.5/12 ≈ 29% (\"about 30% of the cost\"); got {ratio}"
+        );
+    }
+
+    /// {N3} wins "independent of the weighting for each transaction type".
+    #[test]
+    fn n3_dominates_for_every_weighting() {
+        let s = paper_setup();
+        let none = eval_set(&s, &[]);
+        let with_n3 = eval_set(&s, &[s.n3]);
+        let with_n4 = eval_set(&s, &[s.n4]);
+        for (a, b) in [(">Emp", ">Dept")] {
+            for (x, y) in [(&none, &with_n3), (&with_n4, &with_n3), (&with_n4, &none)] {
+                assert!(x.txn_total(a).unwrap() >= y.txn_total(a).unwrap());
+                assert!(x.txn_total(b).unwrap() >= y.txn_total(b).unwrap());
+            }
+        }
+    }
+
+    /// The full exhaustive run picks a set containing N3 (and achieving
+    /// the {N3} cost) over the whole 2^n space.
+    #[test]
+    fn exhaustive_selects_n3() {
+        let s = paper_setup();
+        let model = PageIoCostModel::default();
+        let outcome = optimal_view_set(
+            &s.memo,
+            &s.cat,
+            &model,
+            s.root,
+            &s.txns,
+            &EvalConfig::default(),
+        );
+        assert!(outcome.sets_considered >= 8);
+        assert!(
+            outcome.best.weighted <= 3.5,
+            "at least as good as the paper's {{N3}}: {}",
+            outcome.best.weighted
+        );
+        assert!(
+            outcome.best_set().contains(&s.memo.find(s.n3)),
+            "best = {}",
+            render_view_set(outcome.best_set(), s.root, |g| format!("N{}", g.0))
+        );
+        // Sorted ascending.
+        for w in outcome.evaluated.windows(2) {
+            assert!(w[0].weighted <= w[1].weighted);
+        }
+    }
+
+    /// Theorem 3.1 sanity: the exhaustive optimum is no worse than every
+    /// singleton and the empty set (brute-force spot check).
+    #[test]
+    fn optimum_dominates_all_singletons() {
+        let s = paper_setup();
+        let model = PageIoCostModel::default();
+        let outcome = optimal_view_set(
+            &s.memo,
+            &s.cat,
+            &model,
+            s.root,
+            &s.txns,
+            &EvalConfig::default(),
+        );
+        for g in candidate_groups(&s.memo, s.root) {
+            let e = eval_set(&s, &[g]);
+            assert!(outcome.best.weighted <= e.weighted + 1e-9);
+        }
+        let empty = eval_set(&s, &[]);
+        assert!(outcome.best.weighted <= empty.weighted + 1e-9);
+    }
+}

@@ -1,0 +1,181 @@
+//! The SQL AST.
+
+use spacetime_storage::DataType;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE [PRIMARY KEY], …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `CREATE [MATERIALIZED] VIEW name [(out_cols)] AS select`.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Optional output column names.
+        columns: Option<Vec<String>>,
+        /// The defining query.
+        select: Select,
+        /// Whether `MATERIALIZED` was given (plain views are also
+        /// materialized in this system — the paper's setting — but the
+        /// flag is preserved for reporting).
+        materialized: bool,
+    },
+    /// `CREATE ASSERTION name CHECK (NOT EXISTS (select))` (SQL-92).
+    CreateAssertion {
+        /// Assertion name.
+        name: String,
+        /// The query that must stay empty.
+        select: Select,
+    },
+    /// `CREATE INDEX ON table (cols)`.
+    CreateIndex {
+        /// Indexed table.
+        table: String,
+        /// Indexed columns.
+        columns: Vec<String>,
+    },
+    /// `INSERT INTO table VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `DELETE FROM table [WHERE pred]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter.
+        predicate: Option<Expr>,
+    },
+    /// `UPDATE table SET col = expr, … [WHERE pred]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row filter.
+        predicate: Option<Expr>,
+    },
+    /// A bare query.
+    Select(Select),
+}
+
+/// One column in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+    /// `PRIMARY KEY` marker.
+    pub primary_key: bool,
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Output items.
+    pub items: Vec<SelectItem>,
+    /// `FROM` tables (cross-product style, joined via `WHERE` equalities —
+    /// the paper's examples' style).
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+}
+
+/// A `FROM` entry: table name with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub table: String,
+    /// Alias (`FROM Emp e`).
+    pub alias: Option<String>,
+}
+
+/// One output item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// Expression with optional `AS name`.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// The alias.
+        alias: Option<String>,
+    },
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    /// `COUNT`.
+    Count,
+    /// `SUM`.
+    Sum,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+    /// `AVG`.
+    Avg,
+}
+
+/// A scalar/aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Possibly-qualified column reference.
+    Column {
+        /// Qualifier (`Dept` in `Dept.DName`).
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `TRUE`/`FALSE`.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+    /// Binary operation (`+ - * / = <> < <= > >= AND OR`).
+    Binary {
+        /// Operator lexeme.
+        op: String,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT e`.
+    Not(Box<Expr>),
+    /// `e IS [NOT] NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Whether `NOT` was present.
+        negated: bool,
+    },
+    /// Aggregate call; `arg = None` is `COUNT(*)`.
+    Agg {
+        /// The function.
+        func: AggName,
+        /// The argument.
+        arg: Option<Box<Expr>>,
+    },
+}

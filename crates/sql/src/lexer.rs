@@ -1,0 +1,261 @@
+//! Tokenizer.
+
+use crate::{SqlError, SqlResult};
+
+/// A token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// The token kind/value.
+    pub kind: TokenKind,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and normalized
+/// to uppercase in [`TokenKind::Word`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (uppercased keyword check via [`Token::is_kw`]).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Whether the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.kind, TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// Whether the token is the given symbol.
+    pub fn is_sym(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Sym(x) if *x == s)
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Token {
+                offset: start,
+                kind: TokenKind::Word(input[start..i].to_string()),
+            });
+        } else if c.is_ascii_digit() {
+            let mut is_float = false;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit()
+                    || (bytes[i] == b'.'
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|b| (*b as char).is_ascii_digit())))
+            {
+                if bytes[i] == b'.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text = &input[start..i];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| SqlError::Parse {
+                    offset: start,
+                    message: format!("bad float literal `{text}`"),
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| SqlError::Parse {
+                    offset: start,
+                    message: format!("bad integer literal `{text}`"),
+                })?)
+            };
+            out.push(Token {
+                offset: start,
+                kind,
+            });
+        } else if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(SqlError::Parse {
+                            offset: start,
+                            message: "unterminated string literal".into(),
+                        })
+                    }
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token {
+                offset: start,
+                kind: TokenKind::Str(s),
+            });
+        } else {
+            let two: Option<&'static str> = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                ('<', Some('=')) => Some("<="),
+                ('>', Some('=')) => Some(">="),
+                ('<', Some('>')) => Some("<>"),
+                ('!', Some('=')) => Some("<>"),
+                _ => None,
+            };
+            if let Some(sym) = two {
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::Sym(sym),
+                });
+                i += 2;
+                continue;
+            }
+            let one: &'static str = match c {
+                '(' => "(",
+                ')' => ")",
+                ',' => ",",
+                ';' => ";",
+                '.' => ".",
+                '*' => "*",
+                '+' => "+",
+                '-' => "-",
+                '/' => "/",
+                '=' => "=",
+                '<' => "<",
+                '>' => ">",
+                other => {
+                    return Err(SqlError::Parse {
+                        offset: start,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            };
+            out.push(Token {
+                offset: start,
+                kind: TokenKind::Sym(one),
+            });
+            i += 1;
+        }
+    }
+    out.push(Token {
+        offset: input.len(),
+        kind: TokenKind::Eof,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_strings() {
+        assert_eq!(
+            kinds("SELECT x, 42, 1.5, 'it''s'"),
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Word("x".into()),
+                TokenKind::Sym(","),
+                TokenKind::Int(42),
+                TokenKind::Sym(","),
+                TokenKind::Float(1.5),
+                TokenKind::Sym(","),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <= b <> c != d >= e"),
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Sym("<="),
+                TokenKind::Word("b".into()),
+                TokenKind::Sym("<>"),
+                TokenKind::Word("c".into()),
+                TokenKind::Sym("<>"),
+                TokenKind::Word("d".into()),
+                TokenKind::Sym(">="),
+                TokenKind::Word("e".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a -- comment\n b"),
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Word("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("abc $").unwrap_err();
+        match err {
+            SqlError::Parse { offset, .. } => assert_eq!(offset, 4),
+            other => panic!("{other:?}"),
+        }
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn dotted_names_tokenize_as_parts() {
+        assert_eq!(
+            kinds("Dept.DName"),
+            vec![
+                TokenKind::Word("Dept".into()),
+                TokenKind::Sym("."),
+                TokenKind::Word("DName".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

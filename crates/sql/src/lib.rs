@@ -1,0 +1,59 @@
+//! # spacetime-sql
+//!
+//! A SQL front end for the subset the paper's examples are written in:
+//! `CREATE TABLE`, `CREATE [MATERIALIZED] VIEW … AS SELECT`,
+//! `CREATE ASSERTION … CHECK (NOT EXISTS (…))` (the SQL-92 integrity
+//! constraints of §1/§6), `CREATE INDEX`, `SELECT`–`FROM`–`WHERE`–
+//! `GROUP BY`–`HAVING` with aggregates, and the DML statements
+//! (`INSERT`/`DELETE`/`UPDATE`) that drive incremental maintenance.
+//!
+//! * [`lexer`] — tokenization with positions.
+//! * [`ast`] — the statement/expression AST.
+//! * [`parser`] — recursive-descent parser.
+//! * [`lower`] — lowering a parsed `SELECT` to a `spacetime-algebra`
+//!   expression tree against a catalog.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{Statement, *};
+pub use lower::lower_select;
+pub use parser::{parse_statement, parse_statements};
+
+/// SQL errors reuse the storage error vocabulary plus a parse variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexing/parsing failure with position and message.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Resolution/typing failure during lowering.
+    Semantic(spacetime_storage::StorageError),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SqlError::Semantic(e) => write!(f, "semantic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<spacetime_storage::StorageError> for SqlError {
+    fn from(e: spacetime_storage::StorageError) -> Self {
+        SqlError::Semantic(e)
+    }
+}
+
+/// Result alias for SQL operations.
+pub type SqlResult<T> = Result<T, SqlError>;

@@ -1,0 +1,761 @@
+//! Recursive-descent parser.
+
+use spacetime_storage::DataType;
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::{SqlError, SqlResult};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a single statement (trailing `;` optional).
+pub fn parse_statement(input: &str) -> SqlResult<Statement> {
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    let stmt = p.statement()?;
+    p.eat_sym(";");
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_statements(input: &str) -> SqlResult<Vec<Statement>> {
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_sym(";") {}
+        if p.peek().kind == TokenKind::Eof {
+            return Ok(out);
+        }
+        out.push(p.statement()?);
+        if !p.eat_sym(";") && p.peek().kind != TokenKind::Eof {
+            return Err(p.error("expected `;` between statements"));
+        }
+    }
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            offset: self.peek().offset,
+            message: message.into(),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> SqlResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`")))
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.peek().is_sym(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> SqlResult<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{s}`")))
+        }
+    }
+
+    fn expect_eof(&self) -> SqlResult<()> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn ident(&mut self) -> SqlResult<String> {
+        match &self.peek().kind {
+            TokenKind::Word(w) if !is_reserved(w) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> SqlResult<Statement> {
+        if self.peek().is_kw("CREATE") {
+            return self.create();
+        }
+        if self.peek().is_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident()?;
+            self.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect_sym("(")?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+                rows.push(row);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            return Ok(Statement::Insert { table, rows });
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let predicate = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, predicate });
+        }
+        if self.eat_kw("UPDATE") {
+            let table = self.ident()?;
+            self.expect_kw("SET")?;
+            let mut sets = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect_sym("=")?;
+                sets.push((col, self.expr()?));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            let predicate = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                sets,
+                predicate,
+            });
+        }
+        Err(self.error("expected a statement"))
+    }
+
+    fn create(&mut self) -> SqlResult<Statement> {
+        self.expect_kw("CREATE")?;
+        if self.eat_kw("TABLE") {
+            let name = self.ident()?;
+            self.expect_sym("(")?;
+            let mut columns = Vec::new();
+            loop {
+                let col = self.ident()?;
+                let dtype = self.dtype()?;
+                let primary_key = if self.eat_kw("PRIMARY") {
+                    self.expect_kw("KEY")?;
+                    true
+                } else {
+                    false
+                };
+                columns.push(ColumnDef {
+                    name: col,
+                    dtype,
+                    primary_key,
+                });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Statement::CreateTable { name, columns });
+        }
+        let materialized = self.eat_kw("MATERIALIZED");
+        if self.eat_kw("VIEW") {
+            let name = self.ident()?;
+            let columns = if self.eat_sym("(") {
+                let mut cols = Vec::new();
+                loop {
+                    cols.push(self.ident()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+                Some(cols)
+            } else {
+                None
+            };
+            self.expect_kw("AS")?;
+            let select = self.select()?;
+            return Ok(Statement::CreateView {
+                name,
+                columns,
+                select,
+                materialized,
+            });
+        }
+        if materialized {
+            return Err(self.error("expected `VIEW` after `MATERIALIZED`"));
+        }
+        if self.eat_kw("ASSERTION") {
+            let name = self.ident()?;
+            self.expect_kw("CHECK")?;
+            self.expect_sym("(")?;
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            self.expect_sym("(")?;
+            let select = self.select()?;
+            self.expect_sym(")")?;
+            self.expect_sym(")")?;
+            return Ok(Statement::CreateAssertion { name, select });
+        }
+        if self.eat_kw("INDEX") {
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            self.expect_sym("(")?;
+            let mut columns = Vec::new();
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Statement::CreateIndex { table, columns });
+        }
+        Err(self.error("expected TABLE, VIEW, ASSERTION or INDEX"))
+    }
+
+    fn dtype(&mut self) -> SqlResult<DataType> {
+        let word = match &self.peek().kind {
+            TokenKind::Word(w) => w.to_ascii_uppercase(),
+            _ => return Err(self.error("expected a type name")),
+        };
+        self.pos += 1;
+        match word.as_str() {
+            "INTEGER" | "INT" | "BIGINT" => Ok(DataType::Int),
+            "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" | "NUMERIC" => Ok(DataType::Double),
+            "VARCHAR" | "TEXT" | "CHAR" | "STRING" => {
+                // Optional length spec: VARCHAR(20).
+                if self.eat_sym("(") {
+                    match self.bump().kind {
+                        TokenKind::Int(_) => {}
+                        _ => return Err(self.error("expected a length")),
+                    }
+                    self.expect_sym(")")?;
+                }
+                Ok(DataType::Str)
+            }
+            "BOOLEAN" | "BOOL" => Ok(DataType::Bool),
+            other => Err(self.error(format!("unknown type `{other}`"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    fn select(&mut self) -> SqlResult<Select> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_sym("*") {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            let alias = match &self.peek().kind {
+                TokenKind::Word(w) if !is_reserved(w) => {
+                    let a = w.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            };
+            from.push(TableRef { table, alias });
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        } else if self.eat_kw("GROUPBY") {
+            // The paper writes `GROUPBY` as one word; accept both.
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> SqlResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: "OR".into(),
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: "AND".into(),
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> SqlResult<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> SqlResult<Expr> {
+        let left = self.add_expr()?;
+        for op in ["<=", ">=", "<>", "=", "<", ">"] {
+            if self.eat_sym(op) {
+                let right = self.add_expr()?;
+                return Ok(Expr::Binary {
+                    op: op.to_string(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                });
+            }
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                "+"
+            } else if self.eat_sym("-") {
+                "-"
+            } else {
+                break;
+            };
+            let right = self.mul_expr()?;
+            left = Expr::Binary {
+                op: op.to_string(),
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                "*"
+            } else if self.eat_sym("/") {
+                "/"
+            } else {
+                break;
+            };
+            let right = self.unary_expr()?;
+            left = Expr::Binary {
+                op: op.to_string(),
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> SqlResult<Expr> {
+        if self.eat_sym("-") {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Binary {
+                op: "-".into(),
+                left: Box::new(Expr::Int(0)),
+                right: Box::new(inner),
+            });
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> SqlResult<Expr> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Int(v) => {
+                self.pos += 1;
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.pos += 1;
+                Ok(Expr::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Sym("(") => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            TokenKind::Word(w) => {
+                let upper = w.to_ascii_uppercase();
+                match upper.as_str() {
+                    "TRUE" => {
+                        self.pos += 1;
+                        Ok(Expr::Bool(true))
+                    }
+                    "FALSE" => {
+                        self.pos += 1;
+                        Ok(Expr::Bool(false))
+                    }
+                    "NULL" => {
+                        self.pos += 1;
+                        Ok(Expr::Null)
+                    }
+                    "COUNT" | "SUM" | "MIN" | "MAX" | "AVG" => {
+                        self.pos += 1;
+                        self.expect_sym("(")?;
+                        let func = match upper.as_str() {
+                            "COUNT" => AggName::Count,
+                            "SUM" => AggName::Sum,
+                            "MIN" => AggName::Min,
+                            "MAX" => AggName::Max,
+                            _ => AggName::Avg,
+                        };
+                        let arg = if self.eat_sym("*") {
+                            if func != AggName::Count {
+                                return Err(self.error("only COUNT(*) may take `*`"));
+                            }
+                            None
+                        } else {
+                            Some(Box::new(self.expr()?))
+                        };
+                        self.expect_sym(")")?;
+                        Ok(Expr::Agg { func, arg })
+                    }
+                    _ => {
+                        self.pos += 1;
+                        if self.eat_sym(".") {
+                            let name = self.ident()?;
+                            Ok(Expr::Column {
+                                qualifier: Some(w),
+                                name,
+                            })
+                        } else {
+                            Ok(Expr::Column {
+                                qualifier: None,
+                                name: w,
+                            })
+                        }
+                    }
+                }
+            }
+            _ => Err(self.error("expected an expression")),
+        }
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "GROUPBY",
+        "BY",
+        "HAVING",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "CREATE",
+        "TABLE",
+        "VIEW",
+        "MATERIALIZED",
+        "ASSERTION",
+        "CHECK",
+        "EXISTS",
+        "INDEX",
+        "ON",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "DELETE",
+        "UPDATE",
+        "SET",
+        "DISTINCT",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "PRIMARY",
+        "KEY",
+        "JOIN",
+        "INNER",
+        "ORDER",
+    ];
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_view_definition() {
+        // Verbatim from §1 (modulo GROUPBY spelling, which we accept).
+        let sql = "CREATE VIEW ProblemDept (DName) AS \
+                   SELECT Dept.DName FROM Emp, Dept \
+                   WHERE Dept.DName = Emp.DName \
+                   GROUPBY Dept.DName, Budget \
+                   HAVING SUM(Salary) > Budget";
+        let stmt = parse_statement(sql).unwrap();
+        match stmt {
+            Statement::CreateView {
+                name,
+                columns,
+                select,
+                materialized,
+            } => {
+                assert_eq!(name, "ProblemDept");
+                assert_eq!(columns, Some(vec!["DName".to_string()]));
+                assert!(!materialized);
+                assert_eq!(select.from.len(), 2);
+                assert_eq!(select.group_by.len(), 2);
+                assert!(select.having.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_assertion() {
+        let sql = "CREATE ASSERTION DeptConstraint \
+                   CHECK (NOT EXISTS (SELECT * FROM ProblemDept))";
+        let stmt = parse_statement(sql).unwrap();
+        match stmt {
+            Statement::CreateAssertion { name, select } => {
+                assert_eq!(name, "DeptConstraint");
+                assert_eq!(select.items, vec![SelectItem::Wildcard]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_table_with_key() {
+        let stmt = parse_statement(
+            "CREATE TABLE Dept (DName VARCHAR(30) PRIMARY KEY, MName VARCHAR, Budget INTEGER)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "Dept");
+                assert_eq!(columns.len(), 3);
+                assert!(columns[0].primary_key);
+                assert_eq!(columns[2].dtype, DataType::Int);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dml() {
+        let stmt =
+            parse_statement("INSERT INTO Emp VALUES ('alice', 'Sales', 100), ('bob', 'Eng', 90)")
+                .unwrap();
+        match stmt {
+            Statement::Insert { rows, .. } => assert_eq!(rows.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        let stmt =
+            parse_statement("UPDATE Emp SET Salary = Salary + 10 WHERE EName = 'alice'").unwrap();
+        match stmt {
+            Statement::Update {
+                sets, predicate, ..
+            } => {
+                assert_eq!(sets.len(), 1);
+                assert!(predicate.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("DELETE FROM Emp WHERE Salary < 0").is_ok());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let stmt = parse_statement("SELECT a + b * c FROM T").unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        // a + (b * c)
+        match expr {
+            Expr::Binary { op, right, .. } => {
+                assert_eq!(op, "+");
+                assert!(matches!(&**right, Expr::Binary { op, .. } if op == "*"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let stmt = parse_statement("SELECT * FROM T WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        match sel.where_clause.unwrap() {
+            Expr::Binary { op, .. } => assert_eq!(op, "OR"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn script_parsing_and_errors() {
+        let stmts =
+            parse_statements("CREATE TABLE A (x INT); INSERT INTO A VALUES (1); SELECT * FROM A;")
+                .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("CREATE NONSENSE x").is_err());
+        assert!(parse_statement("SELECT * FROM T trailing garbage ,").is_err());
+        assert!(parse_statement("SELECT SUM(*) FROM T").is_err());
+    }
+
+    #[test]
+    fn aliases_and_aggregates() {
+        let stmt =
+            parse_statement("SELECT DName, SUM(Salary) AS SalSum FROM Emp GROUP BY DName").unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        assert_eq!(sel.items.len(), 2);
+        match &sel.items[1] {
+            SelectItem::Expr {
+                expr: Expr::Agg { func, arg },
+                alias,
+            } => {
+                assert_eq!(*func, AggName::Sum);
+                assert!(arg.is_some());
+                assert_eq!(alias.as_deref(), Some("SalSum"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

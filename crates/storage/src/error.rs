@@ -1,0 +1,92 @@
+//! Crate-wide error type.
+
+use std::fmt;
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors produced by the storage layer.
+///
+/// Higher layers (algebra, IVM, SQL) wrap this type; keeping it closed and
+/// descriptive makes failure-path tests precise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table name was not found in the catalog.
+    UnknownTable(String),
+    /// A table with this name already exists in the catalog.
+    DuplicateTable(String),
+    /// A column name could not be resolved against a schema.
+    UnknownColumn {
+        /// The column (possibly qualified) that failed to resolve.
+        column: String,
+        /// A rendering of the schema it was resolved against.
+        schema: String,
+    },
+    /// A column name resolved to more than one column.
+    AmbiguousColumn(String),
+    /// A tuple's arity or types did not match the target schema.
+    SchemaMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An attempt to delete a tuple (or more copies of a tuple) than the
+    /// relation holds.
+    TupleNotFound {
+        /// The relation involved.
+        relation: String,
+    },
+    /// A value-level type error (e.g. arithmetic on a string).
+    TypeError(String),
+    /// An index was requested on columns outside the schema.
+    BadIndexColumns(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            StorageError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            StorageError::UnknownColumn { column, schema } => {
+                write!(f, "unknown column `{column}` in schema [{schema}]")
+            }
+            StorageError::AmbiguousColumn(name) => write!(f, "ambiguous column `{name}`"),
+            StorageError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            StorageError::TupleNotFound { relation } => {
+                write!(f, "tuple not present in relation `{relation}`")
+            }
+            StorageError::TypeError(msg) => write!(f, "type error: {msg}"),
+            StorageError::BadIndexColumns(msg) => write!(f, "bad index columns: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = StorageError::UnknownTable("Emp".into());
+        assert_eq!(e.to_string(), "unknown table `Emp`");
+        let e = StorageError::UnknownColumn {
+            column: "Dept.Budget".into(),
+            schema: "EName, DName, Salary".into(),
+        };
+        assert!(e.to_string().contains("Dept.Budget"));
+        assert!(e.to_string().contains("EName"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::AmbiguousColumn("DName".into()),
+            StorageError::AmbiguousColumn("DName".into())
+        );
+        assert_ne!(
+            StorageError::UnknownTable("A".into()),
+            StorageError::UnknownTable("B".into())
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Hash indices over column subsets.
+//!
+//! Per the paper's physical model, every index is a hash index with no
+//! overflowed buckets: a probe reads exactly one index page, then one data
+//! page per matching tuple. [`HashIndex`] stores the matching tuples (with
+//! multiplicities) directly under each key; the I/O charging happens in
+//! [`crate::relation::Relation`], which knows when an access is index-backed.
+
+use std::collections::HashMap;
+
+use crate::bag::Bag;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A hash index mapping a key (values of `key_cols`) to the bag of matching
+/// tuples.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    key_cols: Vec<usize>,
+    buckets: HashMap<Box<[Value]>, Bag>,
+}
+
+impl HashIndex {
+    /// Create an empty index on the given column positions.
+    pub fn new(key_cols: Vec<usize>) -> Self {
+        HashIndex {
+            key_cols,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The indexed column positions.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Extract this index's key from a tuple.
+    pub fn key_of(&self, t: &Tuple) -> Box<[Value]> {
+        self.key_cols
+            .iter()
+            .map(|&c| t.get(c).cloned().unwrap_or(Value::Null))
+            .collect()
+    }
+
+    /// Insert `n` copies of a tuple.
+    pub fn insert(&mut self, t: &Tuple, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets
+            .entry(self.key_of(t))
+            .or_default()
+            .insert(t.clone(), n);
+    }
+
+    /// Remove `n` copies of a tuple; the caller guarantees presence (the
+    /// owning relation's bag is the source of truth).
+    pub fn remove(&mut self, t: &Tuple, n: u64) {
+        let key = self.key_of(t);
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            bucket.remove_up_to(t, n);
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+    }
+
+    /// All tuples matching `key`, as a bag (empty if none).
+    pub fn probe(&self, key: &[Value]) -> Option<&Bag> {
+        self.buckets.get(key)
+    }
+
+    /// Number of tuples (counting multiplicity) under `key`.
+    pub fn probe_count(&self, key: &[Value]) -> u64 {
+        self.buckets.get(key).map_or(0, |b| b.len())
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Rebuild from scratch over a bag.
+    pub fn rebuild(&mut self, data: &Bag) {
+        self.buckets.clear();
+        for (t, c) in data.iter() {
+            self.insert(t, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn sample() -> HashIndex {
+        // Index on column 1 (DName) of (EName, DName, Salary).
+        let mut idx = HashIndex::new(vec![1]);
+        idx.insert(&tuple!["alice", "Sales", 100], 1);
+        idx.insert(&tuple!["bob", "Sales", 80], 1);
+        idx.insert(&tuple!["carol", "Eng", 120], 1);
+        idx
+    }
+
+    #[test]
+    fn probe_finds_all_matches() {
+        let idx = sample();
+        assert_eq!(idx.probe_count(&[Value::str("Sales")]), 2);
+        assert_eq!(idx.probe_count(&[Value::str("Eng")]), 1);
+        assert_eq!(idx.probe_count(&[Value::str("HR")]), 0);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn remove_cleans_empty_buckets() {
+        let mut idx = sample();
+        idx.remove(&tuple!["carol", "Eng", 120], 1);
+        assert_eq!(idx.probe_count(&[Value::str("Eng")]), 0);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn multiplicity_respected() {
+        let mut idx = HashIndex::new(vec![0]);
+        idx.insert(&tuple!["k", 1], 3);
+        assert_eq!(idx.probe_count(&[Value::str("k")]), 3);
+        idx.remove(&tuple!["k", 1], 2);
+        assert_eq!(idx.probe_count(&[Value::str("k")]), 1);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut idx = HashIndex::new(vec![0, 1]);
+        idx.insert(&tuple!["a", 1, 10], 1);
+        idx.insert(&tuple!["a", 2, 20], 1);
+        assert_eq!(idx.probe_count(&[Value::str("a"), Value::Int(1)]), 1);
+        assert_eq!(idx.probe_count(&[Value::str("a"), Value::Int(3)]), 0);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let data: Bag = [(tuple!["x", 1], 2), (tuple!["y", 2], 1)]
+            .into_iter()
+            .collect();
+        let mut a = HashIndex::new(vec![0]);
+        a.rebuild(&data);
+        let mut b = HashIndex::new(vec![0]);
+        for (t, c) in data.iter() {
+            b.insert(t, c);
+        }
+        assert_eq!(
+            a.probe_count(&[Value::str("x")]),
+            b.probe_count(&[Value::str("x")])
+        );
+        assert_eq!(a.distinct_keys(), b.distinct_keys());
+    }
+}

@@ -1,0 +1,164 @@
+//! Page-I/O accounting.
+//!
+//! §3.6 of the paper fixes the physical cost model used throughout its
+//! evaluation:
+//!
+//! > *"We assume all indices are hash indices, that there are no overflowed
+//! > hash buckets, and that there is no clustering of the tuples in the
+//! > relation. We count the number of page I/O operations. Looking up a
+//! > materialized relation using an index involves reading one index page
+//! > and as many relation pages as the number of tuples returned. Updating a
+//! > materialized relation involves reading and writing (when required) one
+//! > index page per index maintained on the materialized relation, one
+//! > relation page read per tuple to read the old value, and one relation
+//! > page write per tuple to write the new value."*
+//!
+//! [`IoMeter`] charges exactly those events. Both the *estimated* costs the
+//! optimizer computes (in `spacetime-cost`) and the *measured* costs the IVM
+//! engine observes (in `spacetime-ivm`) are denominated in these page I/Os,
+//! so the two are directly comparable — which is how EXPERIMENTS.md checks
+//! the paper's numbers.
+
+use std::fmt;
+
+/// Mutable page-I/O counters, threaded through every storage access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoMeter {
+    /// Index pages read (one per hash-index probe, per the paper).
+    pub index_page_reads: u64,
+    /// Index pages written (index maintenance on update).
+    pub index_page_writes: u64,
+    /// Data (relation) pages read — one per tuple fetched, since tuples are
+    /// unclustered.
+    pub data_page_reads: u64,
+    /// Data pages written — one per tuple written.
+    pub data_page_writes: u64,
+}
+
+impl IoMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        IoMeter::default()
+    }
+
+    /// Total page I/Os — the quantity the paper's tables report.
+    pub fn total(&self) -> u64 {
+        self.index_page_reads
+            + self.index_page_writes
+            + self.data_page_reads
+            + self.data_page_writes
+    }
+
+    /// Charge one index-page read (a hash probe).
+    pub fn index_probe(&mut self) {
+        self.index_page_reads += 1;
+    }
+
+    /// Charge index-page writes.
+    pub fn index_write(&mut self, pages: u64) {
+        self.index_page_writes += pages;
+    }
+
+    /// Charge reads of `n` unclustered tuples (one page each).
+    pub fn read_tuples(&mut self, n: u64) {
+        self.data_page_reads += n;
+    }
+
+    /// Charge writes of `n` unclustered tuples (one page each).
+    pub fn write_tuples(&mut self, n: u64) {
+        self.data_page_writes += n;
+    }
+
+    /// Charge a sequential scan of `pages` full pages.
+    pub fn scan_pages(&mut self, pages: u64) {
+        self.data_page_reads += pages;
+    }
+
+    /// Snapshot the current counters; subtract later with
+    /// [`IoSnapshot::delta`].
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot(*self)
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = IoMeter::default();
+    }
+}
+
+impl fmt::Display for IoMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} page I/Os (idx r/w {}/{}, data r/w {}/{})",
+            self.total(),
+            self.index_page_reads,
+            self.index_page_writes,
+            self.data_page_reads,
+            self.data_page_writes
+        )
+    }
+}
+
+/// A point-in-time copy of an [`IoMeter`], for scoped measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct IoSnapshot(IoMeter);
+
+impl IoSnapshot {
+    /// Counters accumulated since the snapshot was taken.
+    pub fn delta(&self, now: &IoMeter) -> IoMeter {
+        IoMeter {
+            index_page_reads: now.index_page_reads - self.0.index_page_reads,
+            index_page_writes: now.index_page_writes - self.0.index_page_writes,
+            data_page_reads: now.data_page_reads - self.0.data_page_reads,
+            data_page_writes: now.data_page_writes - self.0.data_page_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_lookup_charges_one_plus_tuples() {
+        // The paper's canonical example: an indexed read of the 10 Emp
+        // tuples of one department costs 11 page I/Os.
+        let mut io = IoMeter::new();
+        io.index_probe();
+        io.read_tuples(10);
+        assert_eq!(io.total(), 11);
+    }
+
+    #[test]
+    fn update_charges_read_modify_write() {
+        // Maintaining N4 on a Dept update: read+modify+write 10 tuples plus
+        // one index page read = 21 page I/Os (paper §3.6).
+        let mut io = IoMeter::new();
+        io.index_probe();
+        io.read_tuples(10);
+        io.write_tuples(10);
+        assert_eq!(io.total(), 21);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_scope() {
+        let mut io = IoMeter::new();
+        io.read_tuples(5);
+        let snap = io.snapshot();
+        io.index_probe();
+        io.write_tuples(2);
+        let d = snap.delta(&io);
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.data_page_reads, 0);
+        assert_eq!(io.total(), 8);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut io = IoMeter::new();
+        io.index_probe();
+        io.read_tuples(1);
+        assert!(io.to_string().starts_with("2 page I/Os"));
+    }
+}

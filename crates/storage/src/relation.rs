@@ -1,0 +1,350 @@
+//! Stored relations: a bag of tuples plus its hash indices, with all
+//! accesses charged to an [`IoMeter`] per the paper's §3.6 accounting rules.
+
+use crate::bag::Bag;
+use crate::error::{StorageError, StorageResult};
+use crate::index::HashIndex;
+use crate::io::IoMeter;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Default number of tuples per data page, used only to price full
+/// sequential scans (the paper's example never scans; every access there is
+/// index-backed).
+pub const DEFAULT_TUPLES_PER_PAGE: u64 = 10;
+
+/// A stored relation (base table or materialized view).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    data: Bag,
+    indexes: Vec<HashIndex>,
+    tuples_per_page: u64,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            data: Bag::new(),
+            indexes: Vec::new(),
+            tuples_per_page: DEFAULT_TUPLES_PER_PAGE,
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total tuple count (with multiplicity).
+    pub fn len(&self) -> u64 {
+        self.data.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of data pages occupied (for scan pricing).
+    pub fn pages(&self) -> u64 {
+        self.data.len().div_ceil(self.tuples_per_page)
+    }
+
+    /// Override the tuples-per-page packing factor.
+    pub fn set_tuples_per_page(&mut self, tpp: u64) {
+        assert!(tpp > 0, "tuples_per_page must be positive");
+        self.tuples_per_page = tpp;
+    }
+
+    /// Direct (uncharged) access to the underlying bag — for verification
+    /// oracles and statistics gathering, not for costed query paths.
+    pub fn data(&self) -> &Bag {
+        &self.data
+    }
+
+    /// Number of secondary indices maintained.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// The index definitions (column position sets).
+    pub fn index_defs(&self) -> Vec<Vec<usize>> {
+        self.indexes.iter().map(|i| i.key_cols().to_vec()).collect()
+    }
+
+    /// Create (or find) a hash index on the given column positions.
+    pub fn create_index(&mut self, key_cols: Vec<usize>) -> StorageResult<usize> {
+        for &c in &key_cols {
+            if c >= self.schema.arity() {
+                return Err(StorageError::BadIndexColumns(format!(
+                    "column position {c} out of range for `{}`",
+                    self.name
+                )));
+            }
+        }
+        if let Some(id) = self.find_index(&key_cols) {
+            return Ok(id);
+        }
+        let mut idx = HashIndex::new(key_cols);
+        idx.rebuild(&self.data);
+        self.indexes.push(idx);
+        Ok(self.indexes.len() - 1)
+    }
+
+    /// Find an existing index on exactly these columns.
+    pub fn find_index(&self, key_cols: &[usize]) -> Option<usize> {
+        self.indexes.iter().position(|i| i.key_cols() == key_cols)
+    }
+
+    /// Indexed lookup: charges 1 index page + one data page per returned
+    /// tuple, and returns the matching bag (cloned; results are small).
+    pub fn lookup(&self, index_id: usize, key: &[Value], io: &mut IoMeter) -> Bag {
+        io.index_probe();
+        let result = self.indexes[index_id]
+            .probe(key)
+            .cloned()
+            .unwrap_or_default();
+        io.read_tuples(result.len());
+        result
+    }
+
+    /// Indexed existence/count check: charges only the index probe.
+    pub fn lookup_count(&self, index_id: usize, key: &[Value], io: &mut IoMeter) -> u64 {
+        io.index_probe();
+        self.indexes[index_id].probe_count(key)
+    }
+
+    /// Full scan: charges sequential pages and returns the bag.
+    pub fn scan(&self, io: &mut IoMeter) -> &Bag {
+        io.scan_pages(self.pages());
+        &self.data
+    }
+
+    /// Insert `n` copies of a tuple, charging maintenance I/O:
+    /// one index page read **and write** per index (the bucket contents
+    /// change), plus one data page write per inserted tuple.
+    pub fn insert(&mut self, t: Tuple, n: u64, io: &mut IoMeter) -> StorageResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.schema.validate(&t)?;
+        for idx in &mut self.indexes {
+            io.index_probe();
+            io.index_write(1);
+            idx.insert(&t, n);
+        }
+        io.write_tuples(n);
+        self.data.insert(t, n);
+        Ok(())
+    }
+
+    /// Delete `n` copies of a tuple, charging one index page read+write per
+    /// index, one data page read per tuple located and one write per tuple
+    /// removed.
+    pub fn delete(&mut self, t: &Tuple, n: u64, io: &mut IoMeter) -> StorageResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        if self.data.count(t) < n {
+            return Err(StorageError::TupleNotFound {
+                relation: self.name.clone(),
+            });
+        }
+        for idx in &mut self.indexes {
+            io.index_probe();
+            io.index_write(1);
+            idx.remove(t, n);
+        }
+        io.read_tuples(n);
+        io.write_tuples(n);
+        self.data.remove(t, n).expect("count checked");
+        Ok(())
+    }
+
+    /// Modify `n` copies of `old` into `new`, charging per the paper's
+    /// convention: one index page read per index, an index page **write only
+    /// when that index's key actually changed**, one data page read per
+    /// tuple (fetch the old value) and one write per tuple (store the new
+    /// value).
+    ///
+    /// This is the §3.6 arithmetic: maintaining N3 under a salary change
+    /// touches 1 tuple → 1 index read + 1 data read + 1 data write = 3;
+    /// maintaining N4 under a budget change touches 10 tuples →
+    /// 1 + 10 + 10 = 21.
+    pub fn modify(
+        &mut self,
+        old: &Tuple,
+        new: Tuple,
+        n: u64,
+        io: &mut IoMeter,
+    ) -> StorageResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.schema.validate(&new)?;
+        if self.data.count(old) < n {
+            return Err(StorageError::TupleNotFound {
+                relation: self.name.clone(),
+            });
+        }
+        for idx in &mut self.indexes {
+            io.index_probe();
+            if idx.key_of(old) != idx.key_of(&new) {
+                io.index_write(1);
+            }
+            idx.remove(old, n);
+            idx.insert(&new, n);
+        }
+        io.read_tuples(n);
+        io.write_tuples(n);
+        self.data.remove(old, n).expect("count checked");
+        self.data.insert(new, n);
+        Ok(())
+    }
+
+    /// Replace the entire contents (initial load / full recompute); charges
+    /// nothing — loads are outside the maintenance-cost accounting.
+    pub fn load(&mut self, data: Bag) -> StorageResult<()> {
+        for (t, _) in data.iter() {
+            self.schema.validate(t)?;
+        }
+        for idx in &mut self.indexes {
+            idx.rebuild(&data);
+        }
+        self.data = data;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn emp() -> Relation {
+        let mut r = Relation::new(
+            "Emp",
+            Schema::of_table(
+                "Emp",
+                &[
+                    ("EName", DataType::Str),
+                    ("DName", DataType::Str),
+                    ("Salary", DataType::Int),
+                ],
+            ),
+        );
+        r.create_index(vec![1]).unwrap();
+        let mut io = IoMeter::new();
+        for (e, d, s) in [
+            ("alice", "Sales", 100),
+            ("bob", "Sales", 80),
+            ("carol", "Eng", 120),
+        ] {
+            r.insert(tuple![e, d, s], 1, &mut io).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn lookup_charges_paper_cost() {
+        let r = emp();
+        let mut io = IoMeter::new();
+        let hits = r.lookup(0, &[Value::str("Sales")], &mut io);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(io.total(), 3, "1 index page + 2 tuple pages");
+        let miss = r.lookup(0, &[Value::str("HR")], &mut io);
+        assert!(miss.is_empty());
+        assert_eq!(io.total(), 4, "a miss still reads the index page");
+    }
+
+    #[test]
+    fn modify_without_key_change_skips_index_write() {
+        let mut r = emp();
+        let mut io = IoMeter::new();
+        r.modify(
+            &tuple!["alice", "Sales", 100],
+            tuple!["alice", "Sales", 130],
+            1,
+            &mut io,
+        )
+        .unwrap();
+        // 1 index read + 1 data read + 1 data write = 3 (paper's N3 cost).
+        assert_eq!(io.total(), 3);
+        assert_eq!(io.index_page_writes, 0);
+    }
+
+    #[test]
+    fn modify_with_key_change_writes_index() {
+        let mut r = emp();
+        let mut io = IoMeter::new();
+        r.modify(
+            &tuple!["alice", "Sales", 100],
+            tuple!["alice", "Eng", 100],
+            1,
+            &mut io,
+        )
+        .unwrap();
+        assert_eq!(io.index_page_writes, 1);
+        let mut io2 = IoMeter::new();
+        assert_eq!(r.lookup(0, &[Value::str("Eng")], &mut io2).len(), 2);
+    }
+
+    #[test]
+    fn delete_missing_tuple_errors() {
+        let mut r = emp();
+        let mut io = IoMeter::new();
+        let err = r.delete(&tuple!["dave", "HR", 50], 1, &mut io).unwrap_err();
+        assert!(matches!(err, StorageError::TupleNotFound { .. }));
+        assert_eq!(io.total(), 0, "failed delete charges nothing");
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut r = emp();
+        let mut io = IoMeter::new();
+        assert!(r.insert(tuple![1, 2], 1, &mut io).is_err());
+        assert!(r.insert(tuple![1, "Sales", 10], 1, &mut io).is_err());
+    }
+
+    #[test]
+    fn scan_charges_pages() {
+        let mut r = emp();
+        r.set_tuples_per_page(2);
+        let mut io = IoMeter::new();
+        let all = r.scan(&mut io);
+        assert_eq!(all.len(), 3);
+        assert_eq!(io.total(), 2, "3 tuples at 2/page = 2 pages");
+    }
+
+    #[test]
+    fn load_rebuilds_indexes_without_charges() {
+        let mut r = emp();
+        let fresh: Bag = [(tuple!["zed", "Ops", 70], 2)].into_iter().collect();
+        r.load(fresh).unwrap();
+        let mut io = IoMeter::new();
+        assert_eq!(r.lookup(0, &[Value::str("Ops")], &mut io).len(), 2);
+        assert_eq!(r.lookup(0, &[Value::str("Sales")], &mut io).len(), 0);
+    }
+
+    #[test]
+    fn create_index_is_idempotent_and_validated() {
+        let mut r = emp();
+        let a = r.create_index(vec![1]).unwrap();
+        let b = r.create_index(vec![1]).unwrap();
+        assert_eq!(a, b);
+        assert!(r.create_index(vec![9]).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Schemas and column name resolution.
+//!
+//! Columns carry an optional *qualifier* (originating table or view name),
+//! so that `Dept.DName = Emp.DName` resolves unambiguously after a join even
+//! though both columns are named `DName`.
+
+use std::fmt;
+
+use crate::error::{StorageError, StorageResult};
+use crate::tuple::Tuple;
+use crate::value::DataType;
+
+/// A column: optional qualifier, name, and type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Column {
+    /// The table/view the column originates from, if tracked.
+    pub qualifier: Option<String>,
+    /// The column name.
+    pub name: String,
+    /// The column type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// A qualified column.
+    pub fn new(qualifier: impl Into<String>, name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// An unqualified column (e.g. a computed output).
+    pub fn bare(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            qualifier: None,
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// Whether this column answers to `(qualifier, name)`.
+    /// An unqualified reference matches any qualifier.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|cq| cq.eq_ignore_ascii_case(q)),
+        }
+    }
+
+    /// `qualifier.name` or bare `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.qualified_name())
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Build a schema where every column shares one qualifier.
+    pub fn of_table(table: &str, cols: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: cols
+                .iter()
+                .map(|(n, t)| Column::new(table, *n, *t))
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> Option<&Column> {
+        self.columns.get(i)
+    }
+
+    /// Resolve a possibly-qualified column reference to a position.
+    ///
+    /// `"DName"` resolves if exactly one column has that name;
+    /// `"Dept.DName"` style references pass `Some("Dept")`.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> StorageResult<usize> {
+        let mut hits = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches(qualifier, name));
+        match (hits.next(), hits.next()) {
+            (Some((i, _)), None) => Ok(i),
+            (None, _) => Err(StorageError::UnknownColumn {
+                column: match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                },
+                schema: self.to_string(),
+            }),
+            (Some(_), Some(_)) => Err(StorageError::AmbiguousColumn(name.to_string())),
+        }
+    }
+
+    /// Parse-and-resolve a dotted reference like `"Dept.DName"` or `"DName"`.
+    pub fn resolve_dotted(&self, reference: &str) -> StorageResult<usize> {
+        match reference.split_once('.') {
+            Some((q, n)) => self.resolve(Some(q), n),
+            None => self.resolve(None, reference),
+        }
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .chain(other.columns.iter())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Project onto positions.
+    pub fn project(&self, positions: &[usize]) -> Schema {
+        Schema {
+            columns: positions
+                .iter()
+                .filter_map(|&p| self.columns.get(p).cloned())
+                .collect(),
+        }
+    }
+
+    /// Re-qualify every column with a new qualifier (view output schema).
+    pub fn requalify(&self, qualifier: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    qualifier: Some(qualifier.to_string()),
+                    name: c.name.clone(),
+                    dtype: c.dtype,
+                })
+                .collect(),
+        }
+    }
+
+    /// Check a tuple against this schema (arity and types; NULL passes any
+    /// type).
+    pub fn validate(&self, tuple: &Tuple) -> StorageResult<()> {
+        if tuple.arity() != self.arity() {
+            return Err(StorageError::SchemaMismatch {
+                detail: format!(
+                    "tuple arity {} vs schema arity {} [{self}]",
+                    tuple.arity(),
+                    self.arity()
+                ),
+            });
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            let v = tuple.get(i).expect("arity checked");
+            if !v.conforms_to(col.dtype) {
+                return Err(StorageError::SchemaMismatch {
+                    detail: format!("value {v} does not conform to {}: {}", col, col.dtype),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c.qualified_name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::Value;
+
+    fn emp() -> Schema {
+        Schema::of_table(
+            "Emp",
+            &[
+                ("EName", DataType::Str),
+                ("DName", DataType::Str),
+                ("Salary", DataType::Int),
+            ],
+        )
+    }
+
+    fn dept() -> Schema {
+        Schema::of_table(
+            "Dept",
+            &[
+                ("DName", DataType::Str),
+                ("MName", DataType::Str),
+                ("Budget", DataType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn unqualified_resolution_unique() {
+        assert_eq!(emp().resolve(None, "Salary").unwrap(), 2);
+        assert_eq!(
+            emp().resolve(None, "salary").unwrap(),
+            2,
+            "case-insensitive"
+        );
+    }
+
+    #[test]
+    fn joined_schema_needs_qualifier_for_shared_names() {
+        let j = emp().concat(&dept());
+        assert!(matches!(
+            j.resolve(None, "DName"),
+            Err(StorageError::AmbiguousColumn(_))
+        ));
+        assert_eq!(j.resolve(Some("Dept"), "DName").unwrap(), 3);
+        assert_eq!(j.resolve_dotted("Emp.DName").unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_column_reports_schema() {
+        let err = emp().resolve(None, "Budget").unwrap_err();
+        match err {
+            StorageError::UnknownColumn { column, schema } => {
+                assert_eq!(column, "Budget");
+                assert!(schema.contains("Emp.Salary"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_checks_arity_and_types() {
+        let s = emp();
+        assert!(s.validate(&tuple!["alice", "Sales", 100]).is_ok());
+        assert!(
+            s.validate(&tuple![Value::Null, "Sales", 100]).is_ok(),
+            "NULL conforms to any type"
+        );
+        assert!(s.validate(&tuple!["alice", "Sales"]).is_err());
+        assert!(s.validate(&tuple!["alice", "Sales", "oops"]).is_err());
+    }
+
+    #[test]
+    fn requalify_renames_origin() {
+        let v = emp().requalify("V");
+        assert_eq!(v.resolve(Some("V"), "Salary").unwrap(), 2);
+        assert!(v.resolve(Some("Emp"), "Salary").is_err());
+    }
+
+    #[test]
+    fn project_keeps_selected_columns() {
+        let p = emp().project(&[1, 2]);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.column(0).unwrap().name, "DName");
+    }
+}

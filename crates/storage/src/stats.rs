@@ -1,0 +1,147 @@
+//! Table statistics for cost estimation.
+//!
+//! The paper's optimizer estimates delta sizes and query costs from simple
+//! statistics: relation cardinalities and per-column distinct counts (so
+//! that, e.g., the average department has `|Emp| / distinct(DName) = 10`
+//! employees). [`TableStats`] carries exactly that, either declared up front
+//! (the paper's analytic mode) or gathered from data by [`TableStats::analyze`].
+
+use std::collections::HashMap;
+
+use crate::bag::Bag;
+use crate::relation::DEFAULT_TUPLES_PER_PAGE;
+
+/// Statistics about one stored relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    /// Total tuples (with multiplicity).
+    pub cardinality: u64,
+    /// Distinct value counts per column position (absent = unknown).
+    pub distinct: HashMap<usize, u64>,
+    /// Packing factor for scan pricing.
+    pub tuples_per_page: u64,
+}
+
+impl Default for TableStats {
+    fn default() -> Self {
+        TableStats {
+            cardinality: 0,
+            distinct: HashMap::new(),
+            tuples_per_page: DEFAULT_TUPLES_PER_PAGE,
+        }
+    }
+}
+
+impl TableStats {
+    /// Declare statistics analytically (the paper's mode: "1000 departments,
+    /// 10000 employees, uniform distribution").
+    pub fn declared(cardinality: u64, distinct: impl IntoIterator<Item = (usize, u64)>) -> Self {
+        TableStats {
+            cardinality,
+            distinct: distinct.into_iter().collect(),
+            ..TableStats::default()
+        }
+    }
+
+    /// Gather statistics from actual data.
+    pub fn analyze(data: &Bag, arity: usize) -> Self {
+        let mut per_col: Vec<std::collections::HashSet<&crate::value::Value>> =
+            (0..arity).map(|_| Default::default()).collect();
+        for (t, _) in data.iter() {
+            for (c, set) in per_col.iter_mut().enumerate() {
+                if let Some(v) = t.get(c) {
+                    set.insert(v);
+                }
+            }
+        }
+        TableStats {
+            cardinality: data.len(),
+            distinct: per_col
+                .iter()
+                .enumerate()
+                .map(|(c, s)| (c, s.len() as u64))
+                .collect(),
+            ..TableStats::default()
+        }
+    }
+
+    /// Distinct count for a column, defaulting to the cardinality (i.e.
+    /// assume unique) when unknown — a conservative choice that never
+    /// overestimates group sizes.
+    pub fn distinct_or_card(&self, col: usize) -> u64 {
+        self.distinct
+            .get(&col)
+            .copied()
+            .unwrap_or(self.cardinality)
+            .max(1)
+    }
+
+    /// Expected number of tuples sharing one value of `col` (the paper's
+    /// "average department contains 10 employees").
+    pub fn avg_group_size(&self, col: usize) -> f64 {
+        if self.cardinality == 0 {
+            return 0.0;
+        }
+        self.cardinality as f64 / self.distinct_or_card(col) as f64
+    }
+
+    /// Number of data pages occupied.
+    pub fn pages(&self) -> u64 {
+        self.cardinality.div_ceil(self.tuples_per_page.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn paper_statistics_give_group_size_ten() {
+        // Emp: 10000 tuples, 1000 distinct departments.
+        let s = TableStats::declared(10_000, [(1, 1_000)]);
+        assert_eq!(s.avg_group_size(1), 10.0);
+        assert_eq!(s.distinct_or_card(1), 1_000);
+    }
+
+    #[test]
+    fn unknown_distinct_defaults_to_cardinality() {
+        let s = TableStats::declared(1_000, []);
+        assert_eq!(s.distinct_or_card(0), 1_000);
+        assert_eq!(s.avg_group_size(0), 1.0);
+    }
+
+    #[test]
+    fn analyze_counts_distincts() {
+        let data: Bag = [
+            (tuple!["a", "Sales"], 1),
+            (tuple!["b", "Sales"], 2),
+            (tuple!["c", "Eng"], 1),
+        ]
+        .into_iter()
+        .collect();
+        let s = TableStats::analyze(&data, 2);
+        assert_eq!(s.cardinality, 4);
+        assert_eq!(s.distinct[&0], 3);
+        assert_eq!(s.distinct[&1], 2);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = TableStats::default();
+        assert_eq!(s.avg_group_size(3), 0.0);
+        assert_eq!(s.pages(), 0);
+        assert_eq!(
+            s.distinct_or_card(0),
+            1,
+            "clamped to 1 to avoid div-by-zero"
+        );
+    }
+
+    #[test]
+    fn pages_round_up() {
+        let mut s = TableStats::declared(11, []);
+        s.tuples_per_page = 10;
+        assert_eq!(s.pages(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tuples: immutable, cheaply-clonable rows.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// An immutable tuple of [`Value`]s.
+///
+/// Tuples are shared freely between bags, indices and deltas, so the value
+/// slice lives behind an [`Arc`]; cloning a tuple is a refcount bump.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Self {
+        Tuple(values.into().into())
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the tuple has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Field access.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// All fields.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project onto the given column positions (positions may repeat or
+    /// reorder). Out-of-range positions yield NULL — callers validate
+    /// positions against schemas before evaluation, so this is a
+    /// defense-in-depth default rather than a supported feature.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(
+            positions
+                .iter()
+                .map(|&p| self.0.get(p).cloned().unwrap_or(Value::Null))
+                .collect(),
+        )
+    }
+
+    /// Concatenate two tuples (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        Tuple(self.0.iter().chain(other.0.iter()).cloned().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+/// Build a tuple from heterogeneous literals: `tuple!["Sales", 100, 1.5]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_reorders_and_repeats() {
+        let t = tuple!["a", 1, 2.5];
+        let p = t.project(&[2, 0, 0]);
+        assert_eq!(
+            p.values(),
+            &[Value::Double(2.5), Value::str("a"), Value::str("a")]
+        );
+    }
+
+    #[test]
+    fn out_of_range_projection_yields_null() {
+        let t = tuple![1];
+        assert_eq!(t.project(&[5]).values(), &[Value::Null]);
+    }
+
+    #[test]
+    fn concat_appends_fields() {
+        let a = tuple![1, 2];
+        let b = tuple!["x"];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2), Some(&Value::str("x")));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = tuple![1, 2, 3];
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn display_renders_parenthesized() {
+        assert_eq!(tuple![1, "x"].to_string(), "(1, 'x')");
+    }
+}

@@ -1,0 +1,52 @@
+//! # spacetime
+//!
+//! A from-scratch Rust implementation of Ross, Srivastava & Sudarshan,
+//! *"Materialized View Maintenance and Integrity Constraint Checking:
+//! Trading Space for Time"* (SIGMOD 1996).
+//!
+//! Given a materialized view `V` and a workload of update transaction
+//! types, the library determines which **additional** sub-views to
+//! materialize (and maintain) so that the total, workload-weighted cost of
+//! incrementally maintaining `V` is minimized — trading space (extra
+//! materializations) for time (cheaper maintenance). The same machinery
+//! checks SQL-92 assertions (complex integrity constraints) incrementally,
+//! by modeling an assertion as a view required to be empty.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`storage`] — bag relations, hash indices, page-I/O metering, catalog.
+//! * [`algebra`] — relational algebra trees and their executor.
+//! * [`delta`] — incremental (delta) propagation rules per operator.
+//! * [`memo`] — the Volcano-style expression DAG and equivalence rules.
+//! * [`cost`] — monotonic cost models and the §3.6 page-I/O cost model.
+//! * [`optimizer`] — the paper's contribution: `OptimalViewSet`, the
+//!   Shielding Principle, and the §5 heuristics.
+//! * [`ivm`] — the runtime maintenance engine, assertions, and the
+//!   `Database` session API.
+//! * [`sql`] — a SQL subset front end.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use spacetime::ivm::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute_sql("CREATE TABLE Emp (EName VARCHAR, DName VARCHAR, Salary INTEGER)").unwrap();
+//! db.execute_sql("CREATE TABLE Dept (DName VARCHAR PRIMARY KEY, MName VARCHAR, Budget INTEGER)").unwrap();
+//! db.execute_sql(
+//!     "CREATE MATERIALIZED VIEW ProblemDept (DName) AS \
+//!      SELECT Dept.DName FROM Emp, Dept WHERE Dept.DName = Emp.DName \
+//!      GROUP BY Dept.DName, Budget HAVING SUM(Salary) > Budget",
+//! ).unwrap();
+//! ```
+
+pub use spacetime_algebra as algebra;
+pub use spacetime_cost as cost;
+pub use spacetime_delta as delta;
+pub use spacetime_ivm as ivm;
+pub use spacetime_memo as memo;
+pub use spacetime_optimizer as optimizer;
+pub use spacetime_sql as sql;
+pub use spacetime_storage as storage;

@@ -1,0 +1,116 @@
+//! Property-based checks on the cost layer: Theorem 3.1's precondition is
+//! a *monotonic* cost model, so the model's primitives must be
+//! non-negative, composition must be additive, and adding materialized
+//! views must never make a query more expensive (the optimizer only uses
+//! marked nodes when they help).
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use spacetime::cost::{Cost, CostCtx, CostModel, Marking, PageIoCostModel, UpdateKind};
+use spacetime_bench::scenarios::{join_chain, problem_dept};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Primitive costs are non-negative and monotone in their size inputs.
+    #[test]
+    fn model_primitives_monotone(t1 in 0.0f64..1e7, t2 in 0.0f64..1e7) {
+        let m = PageIoCostModel::default();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(m.lookup(lo) <= m.lookup(hi));
+        prop_assert!(m.scan(lo) <= m.scan(hi));
+        for kind in [UpdateKind::Insert, UpdateKind::Delete, UpdateKind::Modify] {
+            prop_assert!(m.apply_update(kind, lo) <= m.apply_update(kind, hi));
+            prop_assert!(m.apply_update(kind, lo) >= Cost::ZERO);
+        }
+    }
+
+    /// Query costs are finite and non-negative for every (group, single
+    /// binding column) pair of the paper DAG, under random markings; and
+    /// marking MORE nodes never increases any query's cost.
+    #[test]
+    fn marking_more_never_hurts(mask in 0u32..256) {
+        let s = problem_dept();
+        let model = PageIoCostModel::default();
+        let mut ctx = CostCtx::new(&s.memo, &s.catalog, &model);
+        let groups: Vec<_> = s.memo.groups().collect();
+        let marked: Marking = groups
+            .iter()
+            .enumerate()
+            .filter(|(i, g)| mask & (1 << (i % 8)) != 0 && !s.memo.is_leaf(**g))
+            .map(|(_, &g)| s.memo.find(g))
+            .collect();
+        let empty = Marking::new();
+        for &g in &groups {
+            let arity = s.memo.schema(g).arity();
+            for col in 0..arity.min(3) {
+                let with = ctx.query_cost(g, &[col], &marked);
+                let without = ctx.query_cost(g, &[col], &empty);
+                prop_assert!(with.value() >= 0.0);
+                prop_assert!(without.is_finite());
+                prop_assert!(
+                    with <= without,
+                    "marking increased cost at {g} col {col}: {with} > {without}"
+                );
+            }
+        }
+    }
+
+    /// Estimates are sane on random chains: cardinalities non-negative,
+    /// distinct counts within [1, card] (for non-empty), delta sizes
+    /// bounded by join fanout products.
+    #[test]
+    fn estimates_are_sane(n in 2usize..4) {
+        let s = join_chain(n);
+        let model = PageIoCostModel::default();
+        let mut ctx = CostCtx::new(&s.memo, &s.catalog, &model);
+        for g in s.memo.groups() {
+            let card = ctx.card(g);
+            prop_assert!(card >= 0.0 && card.is_finite());
+            for col in 0..s.memo.schema(g).arity() {
+                let d = ctx.distinct(g, col);
+                prop_assert!(d >= 1.0);
+                prop_assert!(d <= card.max(1.0) + 1e-9, "distinct {d} > card {card}");
+            }
+            for txn in &s.txns {
+                for u in &txn.updates {
+                    let delta = ctx.delta_for(g, u);
+                    prop_assert!(delta.size >= 0.0 && delta.size.is_finite());
+                }
+            }
+        }
+    }
+}
+
+/// The §3.4 monotonicity statement itself: the cost of evaluating a tree
+/// is at least the cost of evaluating any subtree (full-evaluation costs
+/// are additive over children).
+#[test]
+fn full_eval_cost_dominates_subtrees() {
+    let s = problem_dept();
+    let model = PageIoCostModel::default();
+    let mut ctx = CostCtx::new(&s.memo, &s.catalog, &model);
+    let empty = Marking::new();
+    let mut checked = 0;
+    let groups: BTreeSet<_> = s.memo.groups().collect();
+    for &g in &groups {
+        let parent_cost = ctx.full_eval_cost(g, &empty);
+        for op in s.memo.group_ops(g) {
+            for child in s.memo.op_children(op) {
+                // Only ops that realize the parent's minimum are bounded
+                // individually, but every child's cost is a lower bound on
+                // *some* alternative; the safe universal check:
+                let child_cost = ctx.full_eval_cost(child, &empty);
+                if s.memo.group_ops(g).len() == 1 {
+                    assert!(
+                        parent_cost >= child_cost,
+                        "single-alternative parent cheaper than child"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "at least one single-alternative node checked");
+}

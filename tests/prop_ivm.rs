@@ -1,0 +1,218 @@
+//! Property-based soundness of incremental maintenance: for random views
+//! over random data and random update sequences, the incrementally
+//! maintained state must equal recomputation from scratch — with and
+//! without optimizer-chosen auxiliary views.
+
+use proptest::prelude::*;
+
+use spacetime::algebra::{AggExpr, AggFunc, CmpOp, ExprNode, ExprTree, ScalarExpr};
+use spacetime::delta::Delta;
+use spacetime::ivm::{verify_all_views, Database, ViewSelection};
+use spacetime::storage::{tuple, DataType, IoMeter, Schema, Tuple};
+
+/// Which view shape to build.
+#[derive(Debug, Clone, Copy)]
+enum ViewShape {
+    SelectOnly,
+    Join,
+    AggOverBase,
+    AggOverJoin,
+    DistinctProject,
+    JoinWithResidual,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum UpdateOp {
+    Insert { table: u8, k: i64, v: i64 },
+    DeleteNth { table: u8, nth: u8 },
+    ModifyNth { table: u8, nth: u8, new_v: i64 },
+}
+
+fn arbitrary_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..6, 0i64..40), 0..12)
+}
+
+fn arbitrary_updates() -> impl Strategy<Value = Vec<UpdateOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..2, 0i64..6, 0i64..40).prop_map(|(table, k, v)| UpdateOp::Insert { table, k, v }),
+            (0u8..2, any::<u8>()).prop_map(|(table, nth)| UpdateOp::DeleteNth { table, nth }),
+            (0u8..2, any::<u8>(), 0i64..40).prop_map(|(table, nth, new_v)| UpdateOp::ModifyNth {
+                table,
+                nth,
+                new_v
+            }),
+        ],
+        1..8,
+    )
+}
+
+fn view_shape() -> impl Strategy<Value = ViewShape> {
+    prop_oneof![
+        Just(ViewShape::SelectOnly),
+        Just(ViewShape::Join),
+        Just(ViewShape::AggOverBase),
+        Just(ViewShape::AggOverJoin),
+        Just(ViewShape::DistinctProject),
+        Just(ViewShape::JoinWithResidual),
+    ]
+}
+
+fn build_view(db: &Database, shape: ViewShape) -> ExprTree {
+    let t1 = ExprNode::scan(&db.catalog, "T1").unwrap();
+    let t2 = ExprNode::scan(&db.catalog, "T2").unwrap();
+    match shape {
+        ViewShape::SelectOnly => ExprNode::select(
+            t1,
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(1), ScalarExpr::lit(20)),
+        )
+        .unwrap(),
+        ViewShape::Join => ExprNode::join_on(t1, t2, &[("T1.k", "T2.k")]).unwrap(),
+        ViewShape::AggOverBase => ExprNode::aggregate(
+            t1,
+            vec![0],
+            vec![
+                AggExpr::new(AggFunc::Sum, ScalarExpr::col(1), "s"),
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Max, ScalarExpr::col(1), "m"),
+            ],
+        )
+        .unwrap(),
+        ViewShape::AggOverJoin => {
+            let j = ExprNode::join_on(t1, t2, &[("T1.k", "T2.k")]).unwrap();
+            ExprNode::aggregate(
+                j,
+                vec![0],
+                vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(1), "s")],
+            )
+            .unwrap()
+        }
+        ViewShape::DistinctProject => {
+            let p = ExprNode::project_cols(t1, &[0]).unwrap();
+            ExprNode::distinct(p).unwrap()
+        }
+        ViewShape::JoinWithResidual => {
+            let j = ExprNode::join_on(t1, t2, &[("T1.k", "T2.k")]).unwrap();
+            ExprNode::select(
+                j,
+                ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(1), ScalarExpr::col(3)),
+            )
+            .unwrap()
+        }
+    }
+}
+
+fn setup_db(
+    rows1: &[(i64, i64)],
+    rows2: &[(i64, i64)],
+    shape: ViewShape,
+    selection: ViewSelection,
+) -> Database {
+    let mut db = Database::new();
+    db.set_view_selection(selection);
+    for name in ["T1", "T2"] {
+        db.catalog
+            .create_table(
+                name,
+                Schema::of_table(name, &[("k", DataType::Int), ("v", DataType::Int)]),
+            )
+            .unwrap();
+        db.catalog.create_index(name, &["k"]).unwrap();
+    }
+    let mut io = IoMeter::new();
+    for &(k, v) in rows1 {
+        db.catalog
+            .table_mut("T1")
+            .unwrap()
+            .relation
+            .insert(tuple![k, v], 1, &mut io)
+            .unwrap();
+    }
+    for &(k, v) in rows2 {
+        db.catalog
+            .table_mut("T2")
+            .unwrap()
+            .relation
+            .insert(tuple![k, v], 1, &mut io)
+            .unwrap();
+    }
+    db.catalog.table_mut("T1").unwrap().analyze();
+    db.catalog.table_mut("T2").unwrap().analyze();
+    let tree = build_view(&db, shape);
+    db.create_materialized_view("V", tree).unwrap();
+    db
+}
+
+/// Resolve an abstract update op against current table contents.
+fn resolve(db: &Database, op: UpdateOp) -> Option<(String, Delta)> {
+    let table_name = |t: u8| if t == 0 { "T1" } else { "T2" };
+    match op {
+        UpdateOp::Insert { table, k, v } => Some((
+            table_name(table).to_string(),
+            Delta::insert(tuple![k, v], 1),
+        )),
+        UpdateOp::DeleteNth { table, nth } => {
+            let name = table_name(table);
+            let data = db.catalog.table(name).ok()?.relation.data().sorted();
+            if data.is_empty() {
+                return None;
+            }
+            let (t, _) = &data[nth as usize % data.len()];
+            Some((name.to_string(), Delta::delete(t.clone(), 1)))
+        }
+        UpdateOp::ModifyNth { table, nth, new_v } => {
+            let name = table_name(table);
+            let data = db.catalog.table(name).ok()?.relation.data().sorted();
+            if data.is_empty() {
+                return None;
+            }
+            let (t, _) = &data[nth as usize % data.len()];
+            let new: Tuple = tuple![t.get(0).unwrap().clone(), new_v];
+            if *t == new {
+                return None;
+            }
+            Some((name.to_string(), Delta::modify(t.clone(), new, 1)))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Incremental == recompute, root-only materialization.
+    #[test]
+    fn ivm_matches_recompute_root_only(
+        rows1 in arbitrary_rows(),
+        rows2 in arbitrary_rows(),
+        shape in view_shape(),
+        updates in arbitrary_updates(),
+    ) {
+        let mut db = setup_db(&rows1, &rows2, shape, ViewSelection::RootOnly);
+        for op in updates {
+            if let Some((table, delta)) = resolve(&db, op) {
+                db.apply_delta(&table, delta).unwrap();
+                let mismatches = verify_all_views(&db).unwrap();
+                prop_assert!(mismatches.is_empty(), "{mismatches:?}");
+            }
+        }
+    }
+
+    /// Incremental == recompute with optimizer-chosen auxiliary views —
+    /// the auxiliary materializations must stay exact too.
+    #[test]
+    fn ivm_matches_recompute_with_aux_views(
+        rows1 in arbitrary_rows(),
+        rows2 in arbitrary_rows(),
+        shape in view_shape(),
+        updates in arbitrary_updates(),
+    ) {
+        let mut db = setup_db(&rows1, &rows2, shape, ViewSelection::Greedy);
+        for op in updates {
+            if let Some((table, delta)) = resolve(&db, op) {
+                db.apply_delta(&table, delta).unwrap();
+                let mismatches = verify_all_views(&db).unwrap();
+                prop_assert!(mismatches.is_empty(), "{mismatches:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Robustness of the SQL front end: the parser must never panic — any
+//! input either parses or returns a positioned error — and lowering of
+//! parsed-but-nonsensical queries returns semantic errors, not panics.
+
+use proptest::prelude::*;
+
+use spacetime::sql::{parse_statement, parse_statements};
+
+/// Strings biased toward SQL-looking fragments.
+fn sqlish() -> impl Strategy<Value = String> {
+    let word = prop_oneof![
+        Just("SELECT".to_string()),
+        Just("FROM".to_string()),
+        Just("WHERE".to_string()),
+        Just("GROUP".to_string()),
+        Just("BY".to_string()),
+        Just("HAVING".to_string()),
+        Just("SUM".to_string()),
+        Just("COUNT".to_string()),
+        Just("CREATE".to_string()),
+        Just("TABLE".to_string()),
+        Just("VIEW".to_string()),
+        Just("AS".to_string()),
+        Just("AND".to_string()),
+        Just("NOT".to_string()),
+        Just("INSERT".to_string()),
+        Just("VALUES".to_string()),
+        Just("Emp".to_string()),
+        Just("Dept".to_string()),
+        Just("DName".to_string()),
+        Just("Salary".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just(",".to_string()),
+        Just(";".to_string()),
+        Just("*".to_string()),
+        Just("=".to_string()),
+        Just(">".to_string()),
+        Just("<>".to_string()),
+        Just("'str'".to_string()),
+        Just("42".to_string()),
+        Just("3.25".to_string()),
+        Just("--comment\n".to_string()),
+    ];
+    prop::collection::vec(word, 0..24).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parser_never_panics_on_sqlish_soup(input in sqlish()) {
+        let _ = parse_statement(&input);
+        let _ = parse_statements(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(input in ".{0,80}") {
+        let _ = parse_statement(&input);
+    }
+
+    #[test]
+    fn lowering_never_panics(input in sqlish()) {
+        use spacetime::sql::{lower_select, Statement};
+        use spacetime::storage::{Catalog, DataType, Schema};
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "Emp",
+            Schema::of_table(
+                "Emp",
+                &[("DName", DataType::Str), ("Salary", DataType::Int)],
+            ),
+        )
+        .unwrap();
+        if let Ok(Statement::Select(sel)) = parse_statement(&input) {
+            let _ = lower_select(&sel, &cat);
+        }
+    }
+}
