@@ -9,10 +9,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use spacetime_bench::scenarios::{join_chain, problem_dept, stacked_view};
+use spacetime_bench::scenarios::{join_chain, problem_dept, scaling_workload, stacked_view};
 use spacetime_optimizer::heuristics::single_tree_optimize;
 use spacetime_optimizer::{
-    greedy_add, optimal_view_set, shielding_optimize, EvalConfig, PageIoCostModel,
+    candidate_groups, greedy_add, optimal_view_set, optimal_view_set_over, shielding_optimize,
+    EvalConfig, PageIoCostModel,
 };
 
 fn bench_strategies_on_paper_example(c: &mut Criterion) {
@@ -110,10 +111,50 @@ fn bench_shielding_on_stacked(c: &mut Criterion) {
     group.finish();
 }
 
+/// E-PAR: serial vs parallel vs parallel+pruning on the wide scaling
+/// workload (28 candidate groups, 4 skewed-weight transaction types,
+/// ≤2 extra views per set → 407 view sets). The same numbers are
+/// exported to `BENCH_optimizer.json` by the `bench_search` binary.
+fn bench_parallel_search(c: &mut Criterion) {
+    let s = scaling_workload();
+    let model = PageIoCostModel::default();
+    let candidates = candidate_groups(&s.memo, s.root);
+    let mut group = c.benchmark_group("optimizer/scaling");
+    group.sample_size(10);
+    for (name, parallelism, prune) in [
+        ("serial", 1usize, false),
+        ("parallel", 0, false),
+        ("parallel_prune", 0, true),
+    ] {
+        let config = EvalConfig {
+            parallelism,
+            prune,
+            max_tracks: 64,
+            ..EvalConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(optimal_view_set_over(
+                    &s.memo,
+                    &s.catalog,
+                    &model,
+                    s.root,
+                    &candidates,
+                    &s.txns,
+                    &config,
+                    Some(2),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_strategies_on_paper_example,
     bench_chain_scaling,
-    bench_shielding_on_stacked
+    bench_shielding_on_stacked,
+    bench_parallel_search
 );
 criterion_main!(benches);

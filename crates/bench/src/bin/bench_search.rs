@@ -1,0 +1,181 @@
+//! E-PAR driver: times the view-set search engine in its three modes —
+//! serial, parallel, parallel + branch-and-bound pruning — on the
+//! `scaling_workload` scenario and writes the results to
+//! `BENCH_optimizer.json` in the current directory.
+//!
+//! Criterion is a dev-dependency (benches only), so this binary measures
+//! with plain `std::time::Instant` and emits the JSON by hand. Run it
+//! from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p spacetime-bench --bin bench_search
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use spacetime_bench::scenarios::scaling_workload;
+use spacetime_optimizer::{
+    candidate_groups, optimal_view_set_over, EvalConfig, OptimizeOutcome, PageIoCostModel,
+};
+
+const MAX_EXTRA: usize = 2;
+const MAX_TRACKS: usize = 64;
+const REPS: usize = 3;
+
+struct Measured {
+    name: &'static str,
+    parallelism: usize,
+    prune: bool,
+    wall_s: Vec<f64>,
+    outcome: OptimizeOutcome,
+}
+
+impl Measured {
+    fn min_s(&self) -> f64 {
+        self.wall_s.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn mean_s(&self) -> f64 {
+        self.wall_s.iter().sum::<f64>() / self.wall_s.len() as f64
+    }
+}
+
+fn main() {
+    let s = scaling_workload();
+    let model = PageIoCostModel::default();
+    let candidates = candidate_groups(&s.memo, s.root);
+    let nproc = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let configs: [(&'static str, usize, bool); 3] = [
+        ("serial", 1, false),
+        ("parallel", 0, false),
+        ("parallel_prune", 0, true),
+    ];
+
+    let mut measured: Vec<Measured> = Vec::new();
+    for (name, parallelism, prune) in configs {
+        let config = EvalConfig {
+            parallelism,
+            prune,
+            max_tracks: MAX_TRACKS,
+            ..EvalConfig::default()
+        };
+        let run = || {
+            optimal_view_set_over(
+                &s.memo,
+                &s.catalog,
+                &model,
+                s.root,
+                &candidates,
+                &s.txns,
+                &config,
+                Some(MAX_EXTRA),
+            )
+        };
+        // One untimed warmup run absorbs first-touch page faults and
+        // allocator growth, which otherwise dominate the first sample.
+        let mut outcome = run();
+        let mut wall_s = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            outcome = run();
+            wall_s.push(t0.elapsed().as_secs_f64());
+        }
+        eprintln!(
+            "{name:15} min {:>8.3}s  mean {:>8.3}s  best {:.2}  pruned {}/{}",
+            wall_s.iter().copied().fold(f64::INFINITY, f64::min),
+            wall_s.iter().sum::<f64>() / wall_s.len() as f64,
+            outcome.best.weighted,
+            outcome.sets_pruned,
+            outcome.sets_considered,
+        );
+        measured.push(Measured {
+            name,
+            parallelism,
+            prune,
+            wall_s,
+            outcome,
+        });
+    }
+
+    // Exactness check: every mode must agree on the winner, bit for bit.
+    let baseline = &measured[0].outcome;
+    for m in &measured[1..] {
+        assert_eq!(
+            m.outcome.best.view_set, baseline.best.view_set,
+            "{} found a different best set than serial",
+            m.name
+        );
+        assert_eq!(
+            m.outcome.best.weighted.to_bits(),
+            baseline.best.weighted.to_bits(),
+            "{} found a different best cost than serial",
+            m.name
+        );
+    }
+
+    let serial_min = measured[0].min_s();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"optimizer_search\",\n");
+    json.push_str("  \"scenario\": {\n");
+    json.push_str("    \"name\": \"scaling_workload\",\n");
+    let _ = writeln!(json, "    \"candidate_groups\": {},", candidates.len());
+    let _ = writeln!(json, "    \"transaction_types\": {},", s.txns.len());
+    let _ = writeln!(json, "    \"max_extra_views\": {MAX_EXTRA},");
+    let _ = writeln!(json, "    \"max_tracks\": {MAX_TRACKS},");
+    let _ = writeln!(
+        json,
+        "    \"view_sets\": {}",
+        baseline.sets_considered
+    );
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"nproc\": {nproc},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    json.push_str("  \"configs\": [\n");
+    for (i, m) in measured.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(json, "      \"parallelism\": {},", m.parallelism);
+        let _ = writeln!(json, "      \"prune\": {},", m.prune);
+        let samples: Vec<String> = m.wall_s.iter().map(|t| format!("{t:.6}")).collect();
+        let _ = writeln!(json, "      \"wall_s\": [{}],", samples.join(", "));
+        let _ = writeln!(json, "      \"wall_s_min\": {:.6},", m.min_s());
+        let _ = writeln!(json, "      \"wall_s_mean\": {:.6},", m.mean_s());
+        let _ = writeln!(
+            json,
+            "      \"speedup_vs_serial\": {:.3},",
+            serial_min / m.min_s()
+        );
+        let _ = writeln!(json, "      \"best_weighted\": {},", m.outcome.best.weighted);
+        let _ = writeln!(
+            json,
+            "      \"best_extra_views\": {},",
+            m.outcome.best.view_set.len() - 1
+        );
+        let _ = writeln!(
+            json,
+            "      \"sets_considered\": {},",
+            m.outcome.sets_considered
+        );
+        let _ = writeln!(json, "      \"sets_pruned\": {},", m.outcome.sets_pruned);
+        let _ = writeln!(
+            json,
+            "      \"tracks_truncated\": {}",
+            m.outcome.tracks_truncated
+        );
+        json.push_str(if i + 1 == measured.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_optimizer.json", &json).expect("write BENCH_optimizer.json");
+    println!("wrote BENCH_optimizer.json");
+}

@@ -21,6 +21,7 @@ pub mod tables;
 pub mod workload;
 
 pub use scenarios::{
-    adepts_status, figure5, join_chain, paper_names, problem_dept, stacked_view, PaperScenario,
+    adepts_status, figure5, join_chain, paper_names, problem_dept, scaling_workload, stacked_view,
+    PaperScenario,
 };
 pub use workload::{load_paper_data, paper_schema_db, random_emp_updates};

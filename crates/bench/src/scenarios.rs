@@ -284,6 +284,87 @@ pub fn join_chain(n: usize) -> PaperScenario {
     }
 }
 
+/// E-PAR: the parallel-search scaling workload — a four-relation join
+/// chain capped by grouping/aggregation, maintained under skewed-weight
+/// transactions on every base table. Exploration yields well over a dozen
+/// candidate subviews, so the view-set space is wide enough for the
+/// search engine's parallelism and branch-and-bound pruning to matter;
+/// the skewed weights make the heaviest-transaction-first partial sums
+/// cross the pruning threshold early.
+pub fn scaling_workload() -> PaperScenario {
+    let n = 4;
+    let mut catalog = Catalog::new();
+    for i in 0..n {
+        let name = format!("R{}", i + 1);
+        let cols = [
+            (format!("a{}", i + 1), DataType::Int),
+            (format!("x{}", i + 1), DataType::Int),
+        ];
+        let col_refs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        catalog
+            .create_table(&name, Schema::of_table(&name, &col_refs))
+            .expect("fresh");
+        catalog.table_mut(&name).expect("t").stats =
+            TableStats::declared(1_000 * (i as u64 + 1), [(0, 500), (1, 100)]);
+        catalog
+            .create_index(&name, &[&format!("a{}", i + 1)])
+            .expect("cols");
+        catalog
+            .create_index(&name, &[&format!("x{}", i + 1)])
+            .expect("cols");
+    }
+    let mut chain = ExprNode::scan(&catalog, "R1").expect("R1");
+    for i in 1..n {
+        let next = ExprNode::scan(&catalog, &format!("R{}", i + 1)).expect("Ri");
+        let left_col = chain
+            .schema
+            .resolve_dotted(&format!("x{i}"))
+            .expect("chain column");
+        chain = ExprNode::join(
+            chain,
+            next,
+            spacetime_algebra::JoinCondition::on(vec![(left_col, 0)]),
+        )
+        .expect("chain join");
+    }
+    // Group by the head key, totalling the tail attribute — the
+    // aggregation spans the whole chain, so it stays on top.
+    let group_col = chain.schema.resolve_dotted("a1").expect("a1");
+    let sum_col = chain.schema.resolve_dotted(&format!("x{n}")).expect("xn");
+    let tree = ExprNode::aggregate(
+        chain,
+        vec![group_col],
+        vec![AggExpr::new(
+            AggFunc::Sum,
+            ScalarExpr::col(sum_col),
+            "Total",
+        )],
+    )
+    .expect("top aggregate");
+    let mut memo = Memo::new();
+    let root = memo.insert_tree(&tree);
+    memo.set_root(root);
+    explore(&mut memo, &catalog).expect("exploration");
+    let root = memo.find(root);
+    // Skewed weights: updates to the head of the chain dominate.
+    let txns = (0..n)
+        .map(|i| {
+            TransactionType::modify(
+                format!(">R{}", i + 1),
+                format!("R{}", i + 1),
+                (1u64 << (n - 1 - i)) as f64,
+            )
+        })
+        .collect();
+    PaperScenario {
+        catalog,
+        memo,
+        root,
+        tree,
+        txns,
+    }
+}
+
 /// A stack of `levels` aggregate-over-join layers (each an articulation
 /// point) — the shape where the Shielding Principle pays off (E-SH).
 pub fn stacked_view(levels: usize) -> PaperScenario {
@@ -420,6 +501,21 @@ mod tests {
             assert!(s.memo.count_trees(s.root) >= 1);
             assert_eq!(s.txns.len(), n);
         }
+    }
+
+    #[test]
+    fn scaling_workload_is_wide_enough() {
+        use spacetime_optimizer::candidate_groups;
+        let s = scaling_workload();
+        let candidates = candidate_groups(&s.memo, s.root);
+        assert!(
+            candidates.len() >= 12,
+            "E-PAR needs ≥12 candidate groups, got {}",
+            candidates.len()
+        );
+        assert!(s.txns.len() >= 4);
+        // Weights must be skewed (heaviest-first pruning relies on it).
+        assert!(s.txns[0].weight > s.txns[s.txns.len() - 1].weight);
     }
 
     #[test]

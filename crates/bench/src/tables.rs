@@ -517,11 +517,12 @@ pub fn f3_adepts_status() -> Section {
             s.memo.extract_one(g).render()
         ));
     }
-    let empty_eval = outcome
-        .evaluated
-        .iter()
-        .find(|e| e.view_set.len() == 1)
-        .expect("∅ evaluated");
+    // `evaluated` keeps only the top-K sets, so price ∅ directly.
+    let empty_eval = {
+        let mut ctx = CostCtx::new(&s.memo, &s.catalog, &model);
+        let empty: ViewSet = [s.root].into_iter().collect();
+        evaluate_view_set(&mut ctx, &s.catalog, s.root, &empty, &s.txns, &config)
+    };
     body.push_str(&format!(
         "\n∅ costs {} vs optimal {} — materializing V1 pays for itself because \
          \"view V1 does not need to be updated\" under ADepts-only updates.\n",

@@ -51,6 +51,7 @@ pub struct CostCtx<'a> {
     distinct_cache: HashMap<(GroupId, usize), f64>,
     key_cache: HashMap<GroupId, Vec<Key>>,
     query_cache: HashMap<(GroupId, Vec<usize>, u64), crate::model::Cost>,
+    shared_queries: Option<crate::shared::SharedQueryCache>,
 }
 
 impl<'a> CostCtx<'a> {
@@ -64,7 +65,22 @@ impl<'a> CostCtx<'a> {
             distinct_cache: HashMap::new(),
             key_cache: HashMap::new(),
             query_cache: HashMap::new(),
+            shared_queries: None,
         }
+    }
+
+    /// Build a context whose query-cost lookups also consult (and feed) a
+    /// cache shared across threads. Per-worker caches stay: the local map
+    /// answers repeats without touching the shared shards' locks.
+    pub fn with_shared_cache(
+        memo: &'a Memo,
+        catalog: &'a Catalog,
+        model: &'a dyn CostModel,
+        shared: crate::shared::SharedQueryCache,
+    ) -> Self {
+        let mut ctx = Self::new(memo, catalog, model);
+        ctx.shared_queries = Some(shared);
+        ctx
     }
 
     /// The per-(node, binding, marking) query-cost memo table.
@@ -72,6 +88,11 @@ impl<'a> CostCtx<'a> {
         &mut self,
     ) -> &mut HashMap<(GroupId, Vec<usize>, u64), crate::model::Cost> {
         &mut self.query_cache
+    }
+
+    /// The cross-thread query-cost cache, if one was attached.
+    pub(crate) fn shared_queries(&self) -> Option<&crate::shared::SharedQueryCache> {
+        self.shared_queries.as_ref()
     }
 
     /// First live, acyclic operation node of a group (estimation uses one

@@ -96,7 +96,11 @@ impl fmt::Display for Cost {
 /// tree is no less than the cost of evaluating a subtree of that
 /// expression tree" (§3.4) — Theorem 3.1's precondition, property-tested
 /// in this crate.
-pub trait CostModel {
+///
+/// Models must be `Sync`: the optimizer's parallel search shares one model
+/// across worker threads (each worker holds its own mutable `CostCtx`, but
+/// the model itself is read-only).
+pub trait CostModel: Sync {
     /// Cost of an indexed lookup expected to return `tuples` tuples.
     fn lookup(&self, tuples: f64) -> Cost;
 

@@ -20,7 +20,7 @@
 //! between the queries of one update track are charged once).
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 
 use spacetime_algebra::{OpKind, ScalarExpr};
@@ -53,13 +53,22 @@ pub struct BatchQuery {
 
 impl<'a> CostCtx<'a> {
     /// Cost of answering "tuples of `g` whose `cols` match a given
-    /// binding" once, under the marked view set.
+    /// binding" once, under the marked view set. Consults the local memo
+    /// table first, then the cross-thread shared cache (if attached), and
+    /// publishes fresh results to both.
     pub fn query_cost(&mut self, g: GroupId, cols: &[usize], marked: &Marking) -> Cost {
         let key = (self.memo.find(g), cols.to_vec(), marking_hash(marked));
         if let Some(&c) = self.query_cache().get(&key) {
             return c;
         }
+        if let Some(c) = self.shared_queries().and_then(|s| s.get(&key)) {
+            self.query_cache().insert(key, c);
+            return c;
+        }
         let c = self.query_cost_guarded(key.0, cols, marked, &mut vec![]);
+        if let Some(shared) = self.shared_queries() {
+            shared.insert(key.clone(), c);
+        }
         self.query_cache().insert(key, c);
         c
     }
@@ -221,7 +230,10 @@ impl<'a> CostCtx<'a> {
     /// queries can have common subexpressions, and multi-query
     /// optimization techniques can be used").
     pub fn batch_query_cost(&mut self, queries: &[BatchQuery], marked: &Marking) -> Cost {
-        let mut shared: HashMap<(GroupId, Vec<usize>), f64> = HashMap::new();
+        // BTreeMap, not HashMap: the f64 summation below must happen in a
+        // deterministic order so serial and parallel searches produce
+        // bit-identical weighted costs run over run.
+        let mut shared: BTreeMap<(GroupId, Vec<usize>), f64> = BTreeMap::new();
         for q in queries {
             let key = (self.memo.find(q.group), q.cols.clone());
             let e = shared.entry(key).or_insert(0.0);

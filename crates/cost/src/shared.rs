@@ -1,0 +1,127 @@
+//! A query-cost cache shared across optimizer worker threads.
+//!
+//! The view-set search prices the same posed queries under the same
+//! markings over and over: two view sets that agree on the part of the DAG
+//! a query's plan touches produce identical `(group, binding, marking)`
+//! keys. A single process-wide cache lets every worker reuse every other
+//! worker's pricing work. The map is sharded by key hash so concurrent
+//! lookups rarely contend on the same lock.
+//!
+//! Correctness note: a cached entry is keyed by the *full* marking hash, so
+//! sharing across view sets never changes a result — it only skips a
+//! recomputation that would have produced the identical `Cost`.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
+
+use spacetime_memo::GroupId;
+
+use crate::model::Cost;
+
+/// Cache key: (canonical queried group, binding columns, marking hash).
+pub type QueryKey = (GroupId, Vec<usize>, u64);
+
+const DEFAULT_SHARDS: usize = 16;
+
+/// Sharded, thread-safe query-cost cache. Cloning is cheap (`Arc`); clones
+/// share the same underlying shards.
+#[derive(Clone)]
+pub struct SharedQueryCache {
+    shards: Arc<Vec<RwLock<HashMap<QueryKey, Cost>>>>,
+}
+
+impl Default for SharedQueryCache {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
+impl SharedQueryCache {
+    /// A cache with the default shard count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache with an explicit shard count (rounded up to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        SharedQueryCache {
+            shards: Arc::new((0..shards).map(|_| RwLock::new(HashMap::new())).collect()),
+        }
+    }
+
+    fn shard(&self, key: &QueryKey) -> &RwLock<HashMap<QueryKey, Cost>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a priced query. Lock poisoning (a panicking writer) is
+    /// treated as a miss rather than propagated.
+    pub fn get(&self, key: &QueryKey) -> Option<Cost> {
+        self.shard(key)
+            .read()
+            .ok()
+            .and_then(|m| m.get(key).copied())
+    }
+
+    /// Record a priced query.
+    pub fn insert(&self, key: QueryKey, cost: Cost) {
+        if let Ok(mut m) = self.shard(&key).write() {
+            m.insert(key, cost);
+        }
+    }
+
+    /// Total cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().map(|m| m.len()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_roundtrip() {
+        let cache = SharedQueryCache::new();
+        let key: QueryKey = (GroupId(3), vec![0, 2], 0xDEADBEEF);
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key.clone(), Cost(11.0));
+        assert_eq!(cache.get(&key), Some(Cost(11.0)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = SharedQueryCache::with_shards(4);
+        let b = a.clone();
+        a.insert((GroupId(1), vec![], 7), Cost(2.0));
+        assert_eq!(b.get(&(GroupId(1), vec![], 7)), Some(Cost(2.0)));
+    }
+
+    #[test]
+    fn concurrent_inserts_land() {
+        let cache = SharedQueryCache::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        cache.insert((GroupId((t * 100 + i) as u32), vec![], i), Cost(i as f64));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 400);
+    }
+}

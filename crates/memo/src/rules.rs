@@ -853,8 +853,7 @@ impl Rule for LazyAggregation {
 
             // Restore the join's output order: (gb cols, agg outs, B cols).
             let own_schema = memo.schema(memo.op_group(op));
-            let exprs: Vec<(ScalarExpr, String)> = (0..group_by.len())
-                .map(|i| i) // grouping outputs stay first
+            let exprs: Vec<(ScalarExpr, String)> = (0..group_by.len()) // grouping outputs stay first
                 .chain((0..aggs.len()).map(|i| pulled_gb.len() + i))
                 .chain((0..b_arity).map(|i| group_by.len() + i))
                 .enumerate()

@@ -11,7 +11,8 @@ use spacetime_memo::{GroupId, Memo};
 use spacetime_storage::Catalog;
 
 use crate::candidates::ViewSet;
-use crate::tracks::{enumerate_tracks, track_queries, PosedQuery, UpdateTrack};
+use crate::track_catalog::TrackCatalog;
+use crate::tracks::{resolve_prepared, PosedQuery, UpdateTrack};
 
 /// Evaluation knobs.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +24,16 @@ pub struct EvalConfig {
     pub include_root_update_cost: bool,
     /// Cap on enumerated tracks per (view set, transaction).
     pub max_tracks: usize,
+    /// How many evaluations (beyond the best) searches keep in
+    /// [`crate::exhaustive::OptimizeOutcome::evaluated`].
+    pub top_k: usize,
+    /// Worker threads for the parallel search: `0` = one per available
+    /// core, `1` = serial.
+    pub parallelism: usize,
+    /// Branch-and-bound pruning: abort a view set's evaluation as soon as
+    /// its weighted partial sum provably exceeds the current top-K
+    /// threshold. Never changes the winner or the retained top-K.
+    pub prune: bool,
 }
 
 impl Default for EvalConfig {
@@ -30,6 +41,9 @@ impl Default for EvalConfig {
         EvalConfig {
             include_root_update_cost: false,
             max_tracks: 4096,
+            top_k: 16,
+            parallelism: 0,
+            prune: true,
         }
     }
 }
@@ -71,6 +85,9 @@ pub struct ViewSetEvaluation {
     pub per_txn: Vec<TxnEvaluation>,
     /// Weighted-average cost `C(V)` (§3.5).
     pub weighted: f64,
+    /// Track-enumeration branches discarded by `max_tracks` across this
+    /// set's transactions (`0` = the enumeration was exhaustive).
+    pub tracks_truncated: usize,
 }
 
 impl ViewSetEvaluation {
@@ -95,45 +112,67 @@ impl ViewSetEvaluation {
     }
 }
 
-/// Evaluate one view set under a workload.
-pub fn evaluate_view_set(
+/// Evaluate one view set against a shared [`TrackCatalog`] (the search
+/// engine's inner loop). Track enumeration and query preparation come from
+/// the catalog; only marking-dependent pricing happens here.
+///
+/// With `abort_above = Some(t)`, the transactions are processed
+/// heaviest-weight-first and the evaluation is abandoned (returning
+/// `None`) as soon as the weighted partial sum provably exceeds `t`:
+/// per-transaction costs are non-negative, so the running sum of
+/// `weight · cost` divided by the total weight is a monotone lower bound
+/// on the final weighted average. The comparison carries a `1e-9` relative
+/// guard so float-summation reordering can never prune a set whose true
+/// weighted cost ties the threshold; completed evaluations recompute the
+/// weighted average in original transaction order, bit-identical to the
+/// serial path.
+pub fn evaluate_with_catalog(
     ctx: &mut CostCtx<'_>,
-    catalog: &Catalog,
-    root: GroupId,
+    tcat: &TrackCatalog<'_>,
     view_set: &ViewSet,
-    txns: &[TransactionType],
     config: &EvalConfig,
-) -> ViewSetEvaluation {
+    abort_above: Option<f64>,
+) -> Option<ViewSetEvaluation> {
     let memo = ctx.memo;
-    let root = memo.find(root);
     let marked: Marking = view_set.iter().map(|&g| memo.find(g)).collect();
+    let txns = tcat.txns();
+    let total_weight: f64 = txns.iter().map(|t| t.weight).sum();
 
-    let mut per_txn = Vec::with_capacity(txns.len());
-    for txn in txns {
-        let updated: Vec<&str> = txn.updated_tables();
-        let tracks = enumerate_tracks(memo, root, view_set, &updated, config.max_tracks);
+    let mut order: Vec<usize> = (0..txns.len()).collect();
+    if abort_above.is_some() {
+        // Heaviest transactions first: their weighted costs dominate the
+        // partial sum, so bad sets are abandoned as early as possible.
+        order.sort_by(|&a, &b| txns[b].weight.total_cmp(&txns[a].weight).then(a.cmp(&b)));
+    }
+
+    let mut slots: Vec<Option<TxnEvaluation>> = (0..txns.len()).map(|_| None).collect();
+    let mut tracks_truncated = 0usize;
+    let mut partial = 0.0f64;
+    for &ti in &order {
+        let txn = &txns[ti];
+        let prepared = tcat.prepared(ti, view_set, ctx);
+        tracks_truncated += prepared.truncated;
 
         // Cost of performing updates to every materialized view (Figure
         // 4's m_j) — track-independent.
         let mut update_cost = Cost::ZERO;
         for &g in view_set {
             let g = memo.find(g);
-            if g == root && !config.include_root_update_cost {
+            if tcat.is_root(g) && !config.include_root_update_cost {
                 continue;
             }
-            update_cost += ctx.update_apply_cost(g, txn);
+            update_cost += tcat.apply_cost(ti, g, ctx);
         }
 
-        // Cheapest track (Figure 4's q_j).
-        let mut evals: Vec<TrackEval> = Vec::with_capacity(tracks.len());
-        for track in tracks {
-            // Sequential propagation: MQO shares queries *within* one
-            // table-update's propagation (same delta keys), then sums
-            // across the transaction's updates.
+        // Cheapest track (Figure 4's q_j). Sequential propagation: MQO
+        // shares queries *within* one table-update's propagation (same
+        // delta keys), then sums across the transaction's updates.
+        let mut evals: Vec<TrackEval> = Vec::with_capacity(prepared.tracks.len());
+        for pt in &prepared.tracks {
             let mut query_cost = Cost::ZERO;
             let mut queries = Vec::new();
-            for u in &txn.updates {
-                let qs = track_queries(ctx, catalog, &track, view_set, u);
+            for qs_prepared in &pt.queries {
+                let qs = resolve_prepared(qs_prepared, view_set);
                 let batch: Vec<BatchQuery> = qs
                     .iter()
                     .map(|q| BatchQuery {
@@ -146,7 +185,7 @@ pub fn evaluate_view_set(
                 queries.extend(qs);
             }
             evals.push(TrackEval {
-                track,
+                track: pt.track.clone(),
                 queries,
                 query_cost,
             });
@@ -161,27 +200,52 @@ pub fn evaluate_view_set(
             .get(best_track)
             .map(|e| e.query_cost)
             .unwrap_or(Cost::ZERO);
-        per_txn.push(TxnEvaluation {
+        let total = best_query_cost + update_cost;
+        partial += total.value() * txn.weight;
+        slots[ti] = Some(TxnEvaluation {
             txn_name: txn.name.clone(),
             weight: txn.weight,
             tracks: evals,
             best_track,
             update_cost,
-            total: best_query_cost + update_cost,
+            total,
         });
+        if let Some(threshold) = abort_above {
+            if total_weight > 0.0 && partial / total_weight > threshold * (1.0 + 1e-9) {
+                return None;
+            }
+        }
     }
 
+    let per_txn: Vec<TxnEvaluation> = slots
+        .into_iter()
+        .map(|s| s.expect("every transaction evaluated"))
+        .collect();
     let weighted = spacetime_cost::txn::weighted_average(
         &per_txn
             .iter()
             .map(|t| (t.total.value(), t.weight))
             .collect::<Vec<_>>(),
     );
-    ViewSetEvaluation {
+    Some(ViewSetEvaluation {
         view_set: view_set.clone(),
         per_txn,
         weighted,
-    }
+        tracks_truncated,
+    })
+}
+
+/// Evaluate one view set under a workload.
+pub fn evaluate_view_set(
+    ctx: &mut CostCtx<'_>,
+    catalog: &Catalog,
+    root: GroupId,
+    view_set: &ViewSet,
+    txns: &[TransactionType],
+    config: &EvalConfig,
+) -> ViewSetEvaluation {
+    let tcat = TrackCatalog::new(ctx.memo, catalog, &[root], txns, config.max_tracks);
+    evaluate_with_catalog(ctx, &tcat, view_set, config, None).expect("no abort threshold")
 }
 
 /// Convenience: evaluate with a fresh context.

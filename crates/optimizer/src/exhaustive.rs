@@ -5,22 +5,32 @@
 //! the one with the lowest workload-weighted maintenance cost. Valid under
 //! any monotonic cost model.
 
-use spacetime_cost::{CostCtx, CostModel, TransactionType};
+use spacetime_cost::{CostModel, TransactionType};
 use spacetime_memo::{GroupId, Memo};
 use spacetime_storage::Catalog;
 
 use crate::candidates::{candidate_groups, enumerate_view_sets, ViewSet};
-use crate::evaluate::{evaluate_view_set, EvalConfig, ViewSetEvaluation};
+use crate::evaluate::{EvalConfig, ViewSetEvaluation};
+use crate::search::search_view_sets;
 
 /// The result of an optimization run.
 #[derive(Debug, Clone)]
 pub struct OptimizeOutcome {
     /// The winning view set's full evaluation.
     pub best: ViewSetEvaluation,
-    /// Every evaluated view set, sorted by weighted cost (ascending).
+    /// The best evaluations (at most [`EvalConfig::top_k`]), sorted by
+    /// weighted cost (ascending).
     pub evaluated: Vec<ViewSetEvaluation>,
-    /// Number of view sets considered.
+    /// Number of view sets considered (enumerated for evaluation).
     pub sets_considered: usize,
+    /// Of those, how many were abandoned early by branch-and-bound
+    /// pruning (their weighted cost provably exceeded the top-K
+    /// threshold). Pruning never affects `best` or `evaluated`.
+    pub sets_pruned: usize,
+    /// Track-enumeration branches discarded by `max_tracks` across the
+    /// run. Non-zero means some track spaces were not fully explored and
+    /// the reported costs are upper bounds.
+    pub tracks_truncated: usize,
 }
 
 impl OptimizeOutcome {
@@ -70,35 +80,16 @@ pub fn optimal_view_set_over(
 ) -> OptimizeOutcome {
     let root = memo.find(root);
     let sets = enumerate_view_sets(root, candidates, max_extra);
-    let mut ctx = CostCtx::new(memo, catalog, model);
-    let mut evaluated: Vec<ViewSetEvaluation> = sets
-        .iter()
-        .map(|s| {
-            let mut e = evaluate_view_set(&mut ctx, catalog, root, s, txns, config);
-            e.slim();
-            e
-        })
-        .collect();
-    evaluated.sort_by(|a, b| {
-        a.weighted
-            .total_cmp(&b.weighted)
-            .then_with(|| a.view_set.len().cmp(&b.view_set.len()))
-            .then_with(|| a.view_set.cmp(&b.view_set))
-    });
-    let best = evaluated.first().cloned().expect("at least the empty set");
-    OptimizeOutcome {
-        best,
-        sets_considered: evaluated.len(),
-        evaluated,
-    }
+    search_view_sets(memo, catalog, model, &[root], &sets, txns, config)
 }
 
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
     use crate::candidates::render_view_set;
+    use crate::evaluate::evaluate_view_set;
     use spacetime_algebra::{AggExpr, AggFunc, CmpOp, ExprNode, ExprTree, OpKind, ScalarExpr};
-    use spacetime_cost::{Cost, PageIoCostModel};
+    use spacetime_cost::{Cost, CostCtx, PageIoCostModel};
     use spacetime_storage::{DataType, Schema, TableStats};
 
     /// The paper's sample database (§3.6): 1000 departments, 10000

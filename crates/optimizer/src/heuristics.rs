@@ -20,8 +20,9 @@ use spacetime_memo::{GroupId, Memo};
 use spacetime_storage::Catalog;
 
 use crate::candidates::{candidate_groups, ViewSet};
-use crate::evaluate::{evaluate_view_set, EvalConfig, ViewSetEvaluation};
+use crate::evaluate::{evaluate_view_set, EvalConfig};
 use crate::exhaustive::{optimal_view_set_over, OptimizeOutcome};
+use crate::search::search_view_sets;
 
 /// §5 "Using a Single Expression Tree": exhaustive search restricted to
 /// the equivalence nodes of `tree` (which must already be represented in
@@ -105,6 +106,7 @@ pub fn rule_of_thumb_optimize(
     let empty: ViewSet = [root].into_iter().collect();
     let e_marked = evaluate_view_set(&mut ctx, catalog, root, &marked, txns, config);
     let e_empty = evaluate_view_set(&mut ctx, catalog, root, &empty, txns, config);
+    let tracks_truncated = e_marked.tracks_truncated + e_empty.tracks_truncated;
     let (best, other) = if e_marked.weighted <= e_empty.weighted {
         (e_marked, e_empty)
     } else {
@@ -114,12 +116,19 @@ pub fn rule_of_thumb_optimize(
         best: best.clone(),
         evaluated: vec![best, other],
         sets_considered: 2,
+        sets_pruned: 0,
+        tracks_truncated,
     }
 }
 
 /// Greedy hill-climbing: start from ∅ and repeatedly add the single
 /// candidate view with the largest weighted-cost reduction; stop when no
-/// addition improves. Evaluates O(n²) sets instead of 2ⁿ.
+/// addition improves. Evaluates O(n²) sets instead of 2ⁿ. Each round's
+/// trial sets are priced in one [`search_view_sets`] engine run (parallel
+/// workers, shared caches); the round winner under the engine's total
+/// order — weighted cost, then size, then the set — matches the serial
+/// first-strict-minimum rule, since all trials in a round have equal size
+/// and candidate order is ascending.
 pub fn greedy_add(
     memo: &Memo,
     catalog: &Catalog,
@@ -130,36 +139,44 @@ pub fn greedy_add(
 ) -> OptimizeOutcome {
     let root = memo.find(root);
     let candidates = candidate_groups(memo, root);
-    let mut ctx = CostCtx::new(memo, catalog, model);
     let mut current: ViewSet = [root].into_iter().collect();
-    let mut current_eval = evaluate_view_set(&mut ctx, catalog, root, &current, txns, config);
-    let mut sets_considered = 1usize;
+    let base = search_view_sets(
+        memo,
+        catalog,
+        model,
+        &[root],
+        std::slice::from_ref(&current),
+        txns,
+        config,
+    );
+    let mut sets_considered = base.sets_considered;
+    let mut sets_pruned = base.sets_pruned;
+    let mut tracks_truncated = base.tracks_truncated;
+    let mut current_eval = base.best;
     let mut evaluated = vec![current_eval.clone()];
     loop {
-        let mut best_step: Option<ViewSetEvaluation> = None;
-        for &g in &candidates {
-            if current.contains(&g) {
-                continue;
-            }
-            let mut trial = current.clone();
-            trial.insert(g);
-            let mut eval = evaluate_view_set(&mut ctx, catalog, root, &trial, txns, config);
-            eval.slim();
-            sets_considered += 1;
-            if best_step
-                .as_ref()
-                .is_none_or(|b| eval.weighted < b.weighted)
-            {
-                best_step = Some(eval);
-            }
+        let trials: Vec<ViewSet> = candidates
+            .iter()
+            .filter(|g| !current.contains(g))
+            .map(|&g| {
+                let mut trial = current.clone();
+                trial.insert(g);
+                trial
+            })
+            .collect();
+        if trials.is_empty() {
+            break;
         }
-        match best_step {
-            Some(step) if step.weighted < current_eval.weighted => {
-                current = step.view_set.clone();
-                evaluated.push(step.clone());
-                current_eval = step;
-            }
-            _ => break,
+        let round = search_view_sets(memo, catalog, model, &[root], &trials, txns, config);
+        sets_considered += round.sets_considered;
+        sets_pruned += round.sets_pruned;
+        tracks_truncated += round.tracks_truncated;
+        if round.best.weighted < current_eval.weighted {
+            current = round.best.view_set.clone();
+            evaluated.push(round.best.clone());
+            current_eval = round.best;
+        } else {
+            break;
         }
     }
     evaluated.sort_by(|a, b| a.weighted.total_cmp(&b.weighted));
@@ -167,6 +184,8 @@ pub fn greedy_add(
         best: current_eval,
         evaluated,
         sets_considered,
+        sets_pruned,
+        tracks_truncated,
     }
 }
 

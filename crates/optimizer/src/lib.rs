@@ -29,18 +29,25 @@ pub mod evaluate;
 pub mod exhaustive;
 pub mod heuristics;
 pub mod multi;
+pub mod search;
 pub mod shielding;
+pub mod track_catalog;
 pub mod tracks;
 
 pub use candidates::{candidate_groups, enumerate_view_sets, ViewSet};
 pub use complete::delta_group_complete;
-pub use evaluate::{evaluate_view_set, EvalConfig, TxnEvaluation, ViewSetEvaluation};
-pub use exhaustive::{optimal_view_set, OptimizeOutcome};
+pub use evaluate::{
+    evaluate_view_set, evaluate_with_catalog, EvalConfig, TxnEvaluation, ViewSetEvaluation,
+};
+pub use exhaustive::{optimal_view_set, optimal_view_set_over, OptimizeOutcome};
 pub use heuristics::{greedy_add, rule_of_thumb_set, single_tree_optimize};
 pub use multi::{evaluate_multi, optimal_view_set_multi};
+pub use search::search_view_sets;
 pub use shielding::shielding_optimize;
+pub use track_catalog::{PreparedTrack, PreparedTracks, TrackCatalog};
 pub use tracks::{
-    enumerate_tracks, enumerate_tracks_multi, track_queries, PosedQuery, UpdateTrack,
+    enumerate_tracks, enumerate_tracks_multi, enumerate_tracks_multi_counted, track_queries,
+    PosedQuery, PreparedQuery, TrackEnumeration, UpdateTrack,
 };
 
 pub use spacetime_cost::{Cost, CostModel, PageIoCostModel, TransactionType, UpdateKind};

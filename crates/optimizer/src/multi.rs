@@ -23,10 +23,10 @@ use spacetime_memo::{GroupId, Memo};
 use spacetime_storage::Catalog;
 
 use crate::candidates::{candidate_groups, ViewSet};
-use crate::evaluate::{EvalConfig, TxnEvaluation, ViewSetEvaluation};
+use crate::evaluate::{evaluate_with_catalog, EvalConfig, ViewSetEvaluation};
 use crate::exhaustive::OptimizeOutcome;
-use crate::tracks::{enumerate_tracks_multi, track_queries};
-use spacetime_cost::{BatchQuery, Cost, Marking};
+use crate::search::search_view_sets;
+use crate::track_catalog::TrackCatalog;
 
 /// Evaluate a marking that must cover several roots. Mirrors
 /// [`crate::evaluate::evaluate_view_set`], with all roots' update costs
@@ -40,80 +40,10 @@ pub fn evaluate_multi(
     txns: &[TransactionType],
     config: &EvalConfig,
 ) -> ViewSetEvaluation {
-    let memo = ctx.memo;
-    let roots: BTreeSet<GroupId> = roots.iter().map(|&r| memo.find(r)).collect();
-    let marked: Marking = view_set.iter().map(|&g| memo.find(g)).collect();
     // A synthetic super-root is unnecessary: tracks seed from every marked
-    // affected node, so we enumerate from any one root but let affectedness
-    // cover the union by passing each root in turn and merging.
-    let mut per_txn = Vec::with_capacity(txns.len());
-    for txn in txns {
-        let updated: Vec<&str> = txn.updated_tables();
-        // One track must reach every marked affected node across ALL
-        // roots (union-scope affectedness).
-        let root_vec: Vec<GroupId> = roots.iter().copied().collect();
-        let tracks = enumerate_tracks_multi(memo, &root_vec, view_set, &updated, config.max_tracks);
-        let mut update_cost = Cost::ZERO;
-        for &g in view_set {
-            let g = memo.find(g);
-            if roots.contains(&g) && !config.include_root_update_cost {
-                continue;
-            }
-            update_cost += ctx.update_apply_cost(g, txn);
-        }
-        let mut evals = Vec::with_capacity(tracks.len());
-        for track in tracks {
-            let mut query_cost = Cost::ZERO;
-            let mut queries = Vec::new();
-            for u in &txn.updates {
-                let qs = track_queries(ctx, catalog, &track, view_set, u);
-                let batch: Vec<BatchQuery> = qs
-                    .iter()
-                    .map(|q| BatchQuery {
-                        group: q.queried,
-                        cols: q.cols.clone(),
-                        probes: q.probes,
-                    })
-                    .collect();
-                query_cost += ctx.batch_query_cost(&batch, &marked);
-                queries.extend(qs);
-            }
-            evals.push(crate::evaluate::TrackEval {
-                track,
-                queries,
-                query_cost,
-            });
-        }
-        let best_track = evals
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| e.query_cost)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let best_query_cost = evals
-            .get(best_track)
-            .map(|e| e.query_cost)
-            .unwrap_or(Cost::ZERO);
-        per_txn.push(TxnEvaluation {
-            txn_name: txn.name.clone(),
-            weight: txn.weight,
-            tracks: evals,
-            best_track,
-            update_cost,
-            total: best_query_cost + update_cost,
-        });
-    }
-    let weighted = spacetime_cost::txn::weighted_average(
-        &per_txn
-            .iter()
-            .map(|t| (t.total.value(), t.weight))
-            .collect::<Vec<_>>(),
-    );
-    ViewSetEvaluation {
-        view_set: view_set.clone(),
-        per_txn,
-        weighted,
-    }
+    // affected node, with affectedness the union over all roots' scopes.
+    let tcat = TrackCatalog::new(ctx.memo, catalog, roots, txns, config.max_tracks);
+    evaluate_with_catalog(ctx, &tcat, view_set, config, None).expect("no abort threshold")
 }
 
 /// Exhaustive `OptimalViewSet` over a multi-rooted DAG: every root is
@@ -140,8 +70,7 @@ pub fn optimal_view_set_multi(
     }
     let n = candidates.len();
     assert!(n < 63, "candidate space too large to enumerate");
-    let mut ctx = CostCtx::new(memo, catalog, model);
-    let mut evaluated: Vec<ViewSetEvaluation> = Vec::new();
+    let mut sets: Vec<ViewSet> = Vec::new();
     for mask in 0u64..(1u64 << n) {
         if let Some(cap) = max_extra {
             if mask.count_ones() as usize > cap {
@@ -154,22 +83,9 @@ pub fn optimal_view_set_multi(
                 set.insert(g);
             }
         }
-        let mut e = evaluate_multi(&mut ctx, catalog, &roots, &set, txns, config);
-        e.slim();
-        evaluated.push(e);
+        sets.push(set);
     }
-    evaluated.sort_by(|a, b| {
-        a.weighted
-            .total_cmp(&b.weighted)
-            .then_with(|| a.view_set.len().cmp(&b.view_set.len()))
-            .then_with(|| a.view_set.cmp(&b.view_set))
-    });
-    let best = evaluated.first().cloned().expect("at least the root set");
-    OptimizeOutcome {
-        best,
-        sets_considered: evaluated.len(),
-        evaluated,
-    }
+    search_view_sets(memo, catalog, model, &roots, &sets, txns, config)
 }
 
 #[cfg(test)]

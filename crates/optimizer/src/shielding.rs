@@ -19,13 +19,14 @@
 
 use std::collections::BTreeSet;
 
-use spacetime_cost::{CostCtx, CostModel, TransactionType};
+use spacetime_cost::{CostModel, TransactionType};
 use spacetime_memo::{articulation_groups, descendant_groups, GroupId, Memo};
 use spacetime_storage::Catalog;
 
 use crate::candidates::{candidate_groups, ViewSet};
-use crate::evaluate::{evaluate_view_set, EvalConfig, ViewSetEvaluation};
+use crate::evaluate::EvalConfig;
 use crate::exhaustive::OptimizeOutcome;
+use crate::search::search_view_sets;
 
 /// Optimize using the Shielding-Principle decomposition. Produces the same
 /// optimum as [`crate::exhaustive::optimal_view_set`] (Theorem 4.1) while
@@ -39,18 +40,17 @@ pub fn shielding_optimize(
     txns: &[TransactionType],
     config: &EvalConfig,
 ) -> OptimizeOutcome {
-    let mut ctx = CostCtx::new(memo, catalog, model);
-    solve(&mut ctx, catalog, memo.find(root), txns, config)
+    solve(memo, catalog, model, memo.find(root), txns, config)
 }
 
 fn solve(
-    ctx: &mut CostCtx<'_>,
+    memo: &Memo,
     catalog: &Catalog,
+    model: &dyn CostModel,
     root: GroupId,
     txns: &[TransactionType],
     config: &EvalConfig,
 ) -> OptimizeOutcome {
-    let memo = ctx.memo;
     let candidates = candidate_groups(memo, root);
     let cand_set: BTreeSet<GroupId> = candidates.iter().copied().collect();
     let arts: Vec<GroupId> = articulation_groups(memo, root)
@@ -77,7 +77,7 @@ fn solve(
     let mut shielded: BTreeSet<GroupId> = BTreeSet::new();
     for &n in &top_arts {
         let below = candidate_groups(memo, n);
-        let local = solve(ctx, catalog, n, txns, config);
+        let local = solve(memo, catalog, model, n, txns, config);
         sets_considered += local.sets_considered;
         let extras: Vec<GroupId> = local
             .best
@@ -118,8 +118,9 @@ fn solve(
         })
         .collect();
 
-    let mut best: Option<ViewSetEvaluation> = None;
-    let mut evaluated: Vec<ViewSetEvaluation> = Vec::new();
+    // Collect every combination set, then price them all in one engine
+    // run (shared track catalog + query cache, parallel workers, pruning).
+    let mut sets: Vec<ViewSet> = Vec::new();
     let mut idx = vec![0usize; art_options.len()];
     'outer: loop {
         for upper_mask in 0u64..(1u64 << upper.len()) {
@@ -139,20 +140,7 @@ fn solve(
                     set.insert(memo.find(g));
                 }
             }
-            let mut eval = evaluate_view_set(ctx, catalog, root, &set, txns, config);
-            eval.slim();
-            sets_considered += 1;
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    eval.weighted < b.weighted
-                        || (eval.weighted == b.weighted && eval.view_set.len() < b.view_set.len())
-                }
-            };
-            if better {
-                best = Some(eval.clone());
-            }
-            evaluated.push(eval);
+            sets.push(set);
         }
         // Odometer over the per-shield options.
         let mut pos = 0;
@@ -172,16 +160,9 @@ fn solve(
         }
     }
 
-    evaluated.sort_by(|a, b| {
-        a.weighted
-            .total_cmp(&b.weighted)
-            .then_with(|| a.view_set.len().cmp(&b.view_set.len()))
-    });
-    OptimizeOutcome {
-        best: best.expect("at least one set evaluated"),
-        evaluated,
-        sets_considered,
-    }
+    let mut outcome = search_view_sets(memo, catalog, model, &[root], &sets, txns, config);
+    outcome.sets_considered += sets_considered;
+    outcome
 }
 
 #[cfg(test)]

@@ -79,6 +79,16 @@ impl UpdateTrack {
     }
 }
 
+/// The result of a (possibly capped) track enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackEnumeration {
+    /// The enumerated tracks (at most `max_tracks` of them).
+    pub tracks: Vec<UpdateTrack>,
+    /// How many search branches were abandoned because the cap was hit.
+    /// `0` means the enumeration was exhaustive.
+    pub truncated: usize,
+}
+
 /// Enumerate the update tracks for a transaction that updates
 /// `updated_tables`, given the marked view set. Deltas must reach every
 /// affected marked node; each affected non-leaf node on the way picks one
@@ -103,6 +113,18 @@ pub fn enumerate_tracks_multi(
     updated_tables: &[&str],
     max_tracks: usize,
 ) -> Vec<UpdateTrack> {
+    enumerate_tracks_multi_counted(memo, roots, marked, updated_tables, max_tracks).tracks
+}
+
+/// Like [`enumerate_tracks_multi`], but reports how many branches the
+/// `max_tracks` cap discarded instead of truncating silently.
+pub fn enumerate_tracks_multi_counted(
+    memo: &Memo,
+    roots: &[GroupId],
+    marked: &ViewSet,
+    updated_tables: &[&str],
+    max_tracks: usize,
+) -> TrackEnumeration {
     let mut affected: BTreeSet<GroupId> = BTreeSet::new();
     for &root in roots {
         affected.extend(affected_groups(memo, memo.find(root), updated_tables));
@@ -114,17 +136,33 @@ pub fn enumerate_tracks_multi(
         .filter(|g| affected.contains(g) && !memo.is_leaf(*g))
         .collect();
     if seeds.is_empty() {
-        return vec![UpdateTrack {
-            choices: BTreeMap::new(),
-            affected,
-        }];
+        return TrackEnumeration {
+            tracks: vec![UpdateTrack {
+                choices: BTreeMap::new(),
+                affected,
+            }],
+            truncated: 0,
+        };
     }
     let mut out = Vec::new();
+    let mut truncated = 0usize;
     let mut choices = BTreeMap::new();
-    recurse(memo, &affected, seeds, &mut choices, &mut out, max_tracks);
-    out
+    recurse(
+        memo,
+        &affected,
+        seeds,
+        &mut choices,
+        &mut out,
+        max_tracks,
+        &mut truncated,
+    );
+    TrackEnumeration {
+        tracks: out,
+        truncated,
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     memo: &Memo,
     affected: &BTreeSet<GroupId>,
@@ -132,8 +170,10 @@ fn recurse(
     choices: &mut BTreeMap<GroupId, OpId>,
     out: &mut Vec<UpdateTrack>,
     max_tracks: usize,
+    truncated: &mut usize,
 ) {
     if out.len() >= max_tracks {
+        *truncated += 1;
         return;
     }
     // Next group that still needs an operation choice.
@@ -167,7 +207,7 @@ fn recurse(
             }
         }
         choices.insert(g, op);
-        recurse(memo, affected, new_pending, choices, out, max_tracks);
+        recurse(memo, affected, new_pending, choices, out, max_tracks, truncated);
         choices.remove(&g);
     }
 }
@@ -220,17 +260,34 @@ pub struct PosedQuery {
     pub source_table: String,
 }
 
-/// Derive the queries posed when propagating one table's update along a
-/// track. Implements the three costing regimes at aggregates: key-based
-/// elimination (Q3d), self-maintainable suppression (Q4e under {N3}), and
-/// the input re-query.
-pub fn track_queries(
+/// A posed query prepared independently of the marking. Everything about a
+/// track's query set except one thing is a function of the memo, the
+/// catalog and the transaction alone; the one marking-dependent piece —
+/// regime-2 suppression of invertible aggregates whose *output* node is
+/// materialized — is recorded as a condition instead of being resolved, so
+/// the prepared list can be computed once and shared across every view set
+/// that uses the track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedQuery {
+    /// The query, fully resolved (probes, binding, source).
+    pub query: PosedQuery,
+    /// If `Some(g)`: drop this query whenever `g` (canonical) is in the
+    /// marking — the aggregate at `g` is self-maintainable from its own
+    /// materialized output.
+    pub suppress_if_marked: Option<GroupId>,
+}
+
+/// Derive the marking-independent prepared queries for propagating one
+/// table's update along a track. Implements the three costing regimes at
+/// aggregates: key-based elimination (Q3d) and the input re-query are
+/// resolved here; self-maintainable suppression (Q4e under {N3}) becomes a
+/// [`PreparedQuery::suppress_if_marked`] condition.
+pub fn prepare_track_queries(
     ctx: &mut CostCtx<'_>,
     catalog: &Catalog,
     track: &UpdateTrack,
-    marked: &ViewSet,
     update: &TableUpdate,
-) -> Vec<PosedQuery> {
+) -> Vec<PreparedQuery> {
     let memo = ctx.memo;
     let mut out = Vec::new();
     for (&g, &op) in &track.choices {
@@ -251,13 +308,16 @@ pub fn track_queries(
                     } else {
                         condition.left_cols()
                     };
-                    out.push(PosedQuery {
-                        at_op: op,
-                        queried: other,
-                        cols: other_cols,
-                        probes: d.size.max(1.0).min(ctx.card(child).max(1.0)),
-                        side: if side_idx == 0 { 'R' } else { 'L' },
-                        source_table: update.table.clone(),
+                    out.push(PreparedQuery {
+                        query: PosedQuery {
+                            at_op: op,
+                            queried: other,
+                            cols: other_cols,
+                            probes: d.size.max(1.0).min(ctx.card(child).max(1.0)),
+                            side: if side_idx == 0 { 'R' } else { 'L' },
+                            source_table: update.table.clone(),
+                        },
+                        suppress_if_marked: None,
                     });
                 }
             }
@@ -271,24 +331,25 @@ pub fn track_queries(
                 if delta_group_complete(memo, catalog, track, child, group_by, &update.table) {
                     continue;
                 }
-                // Regime 2: self-maintainable from the marked output.
+                // Regime 2: self-maintainable from the marked output —
+                // marking-dependent, so deferred to filter time.
                 let invertible = match d.kind {
                     UpdateKind::Insert => aggs.iter().all(|a| a.func != AggFunc::Avg),
                     UpdateKind::Modify => aggs.iter().all(|a| a.func.invertible()),
                     UpdateKind::Delete => false,
                 };
-                if invertible && marked.contains(&memo.find(g)) {
-                    continue;
-                }
                 // Regime 3: re-query the input per affected group.
                 let groups_touched = ctx.delta_for(g, update).size.max(1.0);
-                out.push(PosedQuery {
-                    at_op: op,
-                    queried: child,
-                    cols: group_by.clone(),
-                    probes: groups_touched,
-                    side: '-',
-                    source_table: update.table.clone(),
+                out.push(PreparedQuery {
+                    query: PosedQuery {
+                        at_op: op,
+                        queried: child,
+                        cols: group_by.clone(),
+                        probes: groups_touched,
+                        side: '-',
+                        source_table: update.table.clone(),
+                    },
+                    suppress_if_marked: invertible.then(|| memo.find(g)),
                 });
             }
             OpKind::Distinct => {
@@ -298,13 +359,16 @@ pub fn track_queries(
                     continue;
                 }
                 let arity = memo.schema(child).arity();
-                out.push(PosedQuery {
-                    at_op: op,
-                    queried: child,
-                    cols: (0..arity).collect(),
-                    probes: d.size.max(1.0),
-                    side: '-',
-                    source_table: update.table.clone(),
+                out.push(PreparedQuery {
+                    query: PosedQuery {
+                        at_op: op,
+                        queried: child,
+                        cols: (0..arity).collect(),
+                        probes: d.size.max(1.0),
+                        side: '-',
+                        source_table: update.table.clone(),
+                    },
+                    suppress_if_marked: None,
                 });
             }
             OpKind::Scan { .. } | OpKind::Select { .. } | OpKind::Project { .. } => {}
@@ -312,6 +376,33 @@ pub fn track_queries(
         let _ = g;
     }
     out
+}
+
+/// Resolve a prepared query list against a concrete marking: keep every
+/// query whose suppression condition does not fire.
+pub fn resolve_prepared(prepared: &[PreparedQuery], marked: &ViewSet) -> Vec<PosedQuery> {
+    prepared
+        .iter()
+        .filter(|p| match p.suppress_if_marked {
+            Some(g) => !marked.contains(&g),
+            None => true,
+        })
+        .map(|p| p.query.clone())
+        .collect()
+}
+
+/// Derive the queries posed when propagating one table's update along a
+/// track under a concrete marking. Equivalent to
+/// [`prepare_track_queries`] followed by [`resolve_prepared`].
+pub fn track_queries(
+    ctx: &mut CostCtx<'_>,
+    catalog: &Catalog,
+    track: &UpdateTrack,
+    marked: &ViewSet,
+    update: &TableUpdate,
+) -> Vec<PosedQuery> {
+    let prepared = prepare_track_queries(ctx, catalog, track, update);
+    resolve_prepared(&prepared, marked)
 }
 
 /// Derive all queries for a whole transaction (sequential propagation of

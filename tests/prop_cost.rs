@@ -8,6 +8,7 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 use spacetime::cost::{Cost, CostCtx, CostModel, Marking, PageIoCostModel, UpdateKind};
+use spacetime::optimizer::{optimal_view_set, EvalConfig};
 use spacetime_bench::scenarios::{join_chain, problem_dept};
 
 proptest! {
@@ -79,6 +80,53 @@ proptest! {
                     prop_assert!(delta.size >= 0.0 && delta.size.is_finite());
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Branch-and-bound pruning never changes the outcome: for any top-K
+    /// size and worker count, the pruned search returns the same winner
+    /// (bit-identical weighted cost) and the same retained top-K as the
+    /// unpruned search. Sound because the per-transaction partial sums
+    /// are monotone: once Σ wᵢ·cᵢ over a prefix exceeds the K-th best
+    /// weighted total, the full total can only be larger.
+    #[test]
+    fn pruning_never_changes_the_winner(
+        top_k in 1usize..9,
+        parallelism in 1usize..5,
+        which in 0usize..2,
+    ) {
+        let s = if which == 0 { problem_dept() } else { join_chain(3) };
+        let model = PageIoCostModel::default();
+        let base = EvalConfig {
+            top_k,
+            parallelism,
+            max_tracks: 256,
+            prune: false,
+            ..EvalConfig::default()
+        };
+        let unpruned = optimal_view_set(&s.memo, &s.catalog, &model, s.root, &s.txns, &base);
+        let pruned = optimal_view_set(
+            &s.memo,
+            &s.catalog,
+            &model,
+            s.root,
+            &s.txns,
+            &EvalConfig { prune: true, ..base },
+        );
+        prop_assert_eq!(&pruned.best.view_set, &unpruned.best.view_set);
+        prop_assert_eq!(
+            pruned.best.weighted.to_bits(),
+            unpruned.best.weighted.to_bits()
+        );
+        prop_assert_eq!(pruned.sets_considered, unpruned.sets_considered);
+        prop_assert_eq!(pruned.evaluated.len(), unpruned.evaluated.len());
+        for (p, u) in pruned.evaluated.iter().zip(&unpruned.evaluated) {
+            prop_assert_eq!(&p.view_set, &u.view_set);
+            prop_assert_eq!(p.weighted.to_bits(), u.weighted.to_bits());
         }
     }
 }

@@ -1,0 +1,253 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of criterion's API its benches use:
+//! `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `Bencher::iter` / `iter_batched`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly,
+//! then timed for `sample_size` samples (time-capped), and the mean / min
+//! per-iteration wall-clock times are printed. No plots, no statistics
+//! beyond that — enough to track perf trajectory across PRs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// stand-in always runs one input per measured batch).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark, e.g. `BenchmarkId::new("opt", 4)`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+#[doc(hidden)]
+pub trait IntoBenchName {
+    fn into_bench_name(self) -> String;
+}
+
+impl IntoBenchName for BenchmarkId {
+    fn into_bench_name(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchName for &str {
+    fn into_bench_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchName for String {
+    fn into_bench_name(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last measurement, if any.
+    last_mean: Option<Duration>,
+    last_min: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last_mean: None,
+            last_min: None,
+        }
+    }
+
+    /// Time `routine` repeatedly and record mean/min per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that takes ≥ ~1ms,
+        // so per-sample timer overhead is negligible for fast routines.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+
+        let budget = Duration::from_millis(600);
+        let started = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters_total = 0u64;
+        for done in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let sample = t0.elapsed();
+            total += sample;
+            min = min.min(sample / iters_per_sample as u32);
+            iters_total += iters_per_sample;
+            if started.elapsed() > budget && done >= 2 {
+                break;
+            }
+        }
+        self.last_mean = Some(total / iters_total.max(1) as u32);
+        self.last_min = Some(min);
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = Duration::from_millis(600);
+        let started = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut count = 0u32;
+        for done in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            let sample = t0.elapsed();
+            total += sample;
+            min = min.min(sample);
+            count += 1;
+            if started.elapsed() > budget && done >= 2 {
+                break;
+            }
+        }
+        self.last_mean = Some(total / count.max(1));
+        self.last_min = Some(min);
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    match (b.last_mean, b.last_min) {
+        (Some(mean), Some(min)) => {
+            println!("bench {name:<56} mean {mean:>12.3?}   min {min:>12.3?}");
+        }
+        _ => println!("bench {name:<56} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver (subset of criterion's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<N, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        N: IntoBenchName,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_name());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<N, I, F>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: IntoBenchName,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_name());
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group runner (subset of criterion's macro: the
+/// configuration form `criterion_group!{name = ...; config = ...}` is not
+/// supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes harness flags like `--bench`; nothing to parse.
+            $($group();)+
+        }
+    };
+}

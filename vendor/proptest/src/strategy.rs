@@ -1,0 +1,344 @@
+//! The `Strategy` trait and core combinators for the proptest stand-in.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random values of one type. Unlike real proptest there is
+/// no value tree / shrinking; a strategy just samples.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map sampled values through a function.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase for storage in heterogeneous collections (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (*self.start() as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String literals act as regex-subset string strategies, e.g. `".{0,80}"`.
+///
+/// Supported syntax: literal characters, `.` (any printable char), character
+/// classes `[a-z0-9_]` (ranges and singletons, no negation), escapes
+/// (`\n`, `\t`, `\\`, `\.` ...), and the quantifiers `*` (0..=8), `+`
+/// (1..=8), `?`, `{n}`, `{m,n}` applied to the preceding atom.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex_subset(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let n = if lo == hi {
+                *lo
+            } else {
+                *lo + rng.below((hi - lo + 1) as u64) as usize
+            };
+            for _ in 0..n {
+                out.push(atom.sample_char(rng));
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    Literal(char),
+    Any,
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn sample_char(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Any => {
+                // Mostly printable ASCII, occasionally multibyte to exercise
+                // UTF-8 handling in parsers under test.
+                const EXOTIC: &[char] = &['é', 'λ', '中', '\u{0}', '\n', '\t', '\u{7f}', '😀'];
+                if rng.below(8) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    (0x20 + rng.below(0x5f) as u8) as char
+                }
+            }
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo)
+            }
+        }
+    }
+}
+
+/// Parse the supported regex subset into (atom, min_reps, max_reps) triples.
+fn parse_regex_subset(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pat.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in pattern");
+                Atom::Literal(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                })
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("dangling escape in class"),
+                        Some(ch) => ch,
+                        None => panic!("unterminated character class in pattern"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = match chars.next() {
+                            Some(']') | None => panic!("unterminated range in class"),
+                            Some(ch) => ch,
+                        };
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in pattern");
+                Atom::Class(ranges)
+            }
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut first = String::new();
+                let mut second = None;
+                for ch in chars.by_ref() {
+                    match ch {
+                        '}' => break,
+                        ',' => second = Some(String::new()),
+                        d => match &mut second {
+                            Some(s) => s.push(d),
+                            None => first.push(d),
+                        },
+                    }
+                }
+                let m: usize = first.parse().expect("bad {m,n} quantifier");
+                let n = match second {
+                    Some(s) if s.is_empty() => m + 8,
+                    Some(s) => s.parse().expect("bad {m,n} quantifier"),
+                    None => m,
+                };
+                (m, n)
+            }
+            _ => (1, 1),
+        };
+        out.push((atom, lo, hi));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let x = (0i64..6).sample(&mut rng);
+            assert!((0..6).contains(&x));
+            let y = (0u32..256).sample(&mut rng);
+            assert!(y < 256);
+            let f = (0.0f64..1e7).sample(&mut rng);
+            assert!((0.0..1e7).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_lengths() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = ".{0,80}".sample(&mut rng);
+            assert!(s.chars().count() <= 80);
+        }
+        for _ in 0..50 {
+            let s = "[a-z]{3}".sample(&mut rng);
+            assert_eq!(s.chars().count(), 3);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        assert_eq!("ab\\.c".sample(&mut rng), "ab.c");
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let s = (0i64..5, 0i64..5).prop_map(|(a, b)| a + b);
+        let mut rng = TestRng::new(4);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((0..9).contains(&v));
+        }
+    }
+}
