@@ -1,0 +1,257 @@
+//! E-IVM driver: sustained-throughput benchmark for the delta-propagation
+//! data plane. Streams a mixed insert/delete/modify workload through two
+//! identical databases — one in `PerKey` propagation mode, one in the
+//! default `Batched` mode — asserting after every transaction that the
+//! two produce bit-identical `UpdateReport` I/O counters, and at the end
+//! that every materialized table (roots and auxiliaries) holds identical
+//! contents, verified against full recomputation.
+//!
+//! Batching is a wall-clock optimisation only: it must never change the
+//! deltas or the charged I/O (see DESIGN.md §10). This binary is the
+//! executable form of that invariant, plus the throughput numbers.
+//!
+//! ```text
+//! cargo run --release -p spacetime-bench --bin bench_ivm            # full
+//! cargo run --release -p spacetime-bench --bin bench_ivm -- --smoke # CI
+//! ```
+//!
+//! Writes `BENCH_ivm.json` in the current directory.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use spacetime_bench::workload::{load_paper_data, mixed_workload, paper_schema_db};
+use spacetime_cost::TransactionType;
+use spacetime_ivm::{verify_all_views, Database, PropagationMode, ViewSelection};
+
+const SEED: u64 = 9406; // SIGMOD '96
+
+struct Scenario {
+    name: &'static str,
+    departments: usize,
+    emps_per_dept: usize,
+    transactions: usize,
+}
+
+struct ModeRun {
+    wall: Duration,
+    io_total: u64,
+    paper_cost: u64,
+}
+
+impl ModeRun {
+    fn txns_per_sec(&self, n: usize) -> f64 {
+        n as f64 / self.wall.as_secs_f64()
+    }
+}
+
+struct Measured {
+    scenario: Scenario,
+    per_key: ModeRun,
+    batched: ModeRun,
+    reports_identical: bool,
+    views_identical: bool,
+    verified: bool,
+    view_count: usize,
+    materialized_nodes: usize,
+}
+
+/// The view definitions under maintenance: a join + aggregate + HAVING
+/// (the paper's ProblemDept), a plain aggregate, an SPJ join, and a
+/// DISTINCT projection — one of each propagation rule.
+const VIEWS: [&str; 4] = [
+    "CREATE MATERIALIZED VIEW ProblemDept (DName) AS \
+     SELECT Dept.DName FROM Emp, Dept WHERE Dept.DName = Emp.DName \
+     GROUP BY Dept.DName, Budget HAVING SUM(Salary) > Budget",
+    "CREATE MATERIALIZED VIEW DeptProfile AS \
+     SELECT DName, COUNT(*) AS Heads, MAX(Salary) AS TopSal \
+     FROM Emp GROUP BY DName",
+    "CREATE MATERIALIZED VIEW WellPaid AS \
+     SELECT EName, Emp.DName, MName FROM Emp, Dept \
+     WHERE Emp.DName = Dept.DName AND Salary > 150",
+    "CREATE MATERIALIZED VIEW ActiveDepts AS SELECT DISTINCT DName FROM Emp",
+];
+
+fn build_db(s: &Scenario, mode: PropagationMode) -> Database {
+    let mut db = paper_schema_db();
+    db.set_view_selection(ViewSelection::Exhaustive);
+    db.set_propagation_mode(mode);
+    load_paper_data(&mut db, s.departments, s.emps_per_dept);
+    db.declare_workload(vec![
+        TransactionType::modify(">Emp", "Emp", 1.0),
+        TransactionType::modify(">Dept", "Dept", 1.0),
+    ]);
+    for view in VIEWS {
+        db.execute_sql(view).expect("view DDL");
+    }
+    db
+}
+
+/// Every table name materialized by any engine (roots and auxiliaries).
+fn materialized_names(db: &Database) -> Vec<String> {
+    let mut names: Vec<String> = db
+        .engines()
+        .iter()
+        .flat_map(|e| e.materialized.values().cloned())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn run_scenario(s: Scenario) -> Measured {
+    eprintln!(
+        "scenario {}: {} depts x {} emps, {} transactions",
+        s.name, s.departments, s.emps_per_dept, s.transactions
+    );
+    let workload = mixed_workload(s.departments, s.emps_per_dept, s.transactions, SEED);
+    let mut db_pk = build_db(&s, PropagationMode::PerKey);
+    let mut db_b = build_db(&s, PropagationMode::Batched);
+
+    let mut reports_identical = true;
+    let mut pk = ModeRun {
+        wall: Duration::ZERO,
+        io_total: 0,
+        paper_cost: 0,
+    };
+    let mut ba = ModeRun {
+        wall: Duration::ZERO,
+        io_total: 0,
+        paper_cost: 0,
+    };
+    for (table, delta) in &workload {
+        let t0 = Instant::now();
+        let r_pk = db_pk.apply_delta(table, delta.clone()).expect("per-key");
+        pk.wall += t0.elapsed();
+        let t0 = Instant::now();
+        let r_b = db_b.apply_delta(table, delta.clone()).expect("batched");
+        ba.wall += t0.elapsed();
+        // The invariant: batching never changes the charged I/O.
+        assert_eq!(
+            r_pk, r_b,
+            "per-update I/O counters diverged on {table} delta {delta:?}"
+        );
+        reports_identical &= r_pk == r_b;
+        pk.io_total += r_pk.total();
+        pk.paper_cost += r_pk.paper_cost();
+        ba.io_total += r_b.total();
+        ba.paper_cost += r_b.paper_cost();
+    }
+
+    // Final state: every materialized table bit-identical across modes.
+    let names = materialized_names(&db_pk);
+    assert_eq!(names, materialized_names(&db_b));
+    let mut views_identical = true;
+    for name in &names {
+        let a = &db_pk.catalog.table(name).expect("per-key table").relation;
+        let b = &db_b.catalog.table(name).expect("batched table").relation;
+        let same = a.data() == b.data();
+        assert!(same, "materialized table {name} diverged between modes");
+        views_identical &= same;
+    }
+    let verified = verify_all_views(&db_b).expect("recompute").is_empty()
+        && verify_all_views(&db_pk).expect("recompute").is_empty();
+    assert!(verified, "a view diverged from recomputation");
+
+    let measured = Measured {
+        per_key: pk,
+        batched: ba,
+        reports_identical,
+        views_identical,
+        verified,
+        view_count: VIEWS.len(),
+        materialized_nodes: names.len(),
+        scenario: s,
+    };
+    eprintln!(
+        "  per_key {:>8.3}s ({:>8.1} txn/s)   batched {:>8.3}s ({:>8.1} txn/s)   speedup {:.2}x   io {} == {}",
+        measured.per_key.wall.as_secs_f64(),
+        measured.per_key.txns_per_sec(measured.scenario.transactions),
+        measured.batched.wall.as_secs_f64(),
+        measured.batched.txns_per_sec(measured.scenario.transactions),
+        measured.per_key.wall.as_secs_f64() / measured.batched.wall.as_secs_f64(),
+        measured.per_key.io_total,
+        measured.batched.io_total,
+    );
+    measured
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scenarios = if smoke {
+        vec![
+            Scenario {
+                name: "paper",
+                departments: 20,
+                emps_per_dept: 5,
+                transactions: 40,
+            },
+            Scenario {
+                name: "scaling",
+                departments: 100,
+                emps_per_dept: 10,
+                transactions: 80,
+            },
+        ]
+    } else {
+        vec![
+            Scenario {
+                name: "paper",
+                departments: 1000,
+                emps_per_dept: 10,
+                transactions: 600,
+            },
+            Scenario {
+                name: "scaling",
+                departments: 4000,
+                emps_per_dept: 10,
+                transactions: 1000,
+            },
+        ]
+    };
+
+    let measured: Vec<Measured> = scenarios.into_iter().map(run_scenario).collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"ivm_data_plane\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, m) in measured.iter().enumerate() {
+        let n = m.scenario.transactions;
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", m.scenario.name);
+        let _ = writeln!(json, "      \"departments\": {},", m.scenario.departments);
+        let _ = writeln!(json, "      \"emps_per_dept\": {},", m.scenario.emps_per_dept);
+        let _ = writeln!(json, "      \"transactions\": {n},");
+        let _ = writeln!(json, "      \"views\": {},", m.view_count);
+        let _ = writeln!(json, "      \"materialized_nodes\": {},", m.materialized_nodes);
+        for (label, run) in [("per_key", &m.per_key), ("batched", &m.batched)] {
+            let _ = writeln!(json, "      \"{label}\": {{");
+            let _ = writeln!(json, "        \"wall_s\": {:.6},", run.wall.as_secs_f64());
+            let _ = writeln!(json, "        \"txns_per_sec\": {:.1},", run.txns_per_sec(n));
+            let _ = writeln!(json, "        \"io_total\": {},", run.io_total);
+            let _ = writeln!(json, "        \"paper_cost_io\": {}", run.paper_cost);
+            json.push_str("      },\n");
+        }
+        let _ = writeln!(
+            json,
+            "      \"speedup\": {:.3},",
+            m.per_key.wall.as_secs_f64() / m.batched.wall.as_secs_f64()
+        );
+        let _ = writeln!(json, "      \"io_identical\": {},", m.reports_identical);
+        let _ = writeln!(json, "      \"views_identical\": {},", m.views_identical);
+        let _ = writeln!(json, "      \"verified_against_recompute\": {}", m.verified);
+        json.push_str(if i + 1 == measured.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_ivm.json", &json).expect("write BENCH_ivm.json");
+    println!("wrote BENCH_ivm.json");
+}

@@ -346,14 +346,13 @@ pub fn scaling_workload() -> PaperScenario {
     memo.set_root(root);
     explore(&mut memo, &catalog).expect("exploration");
     let root = memo.find(root);
-    // Skewed weights: updates to the head of the chain dominate.
+    // Skewed weights: updates to the head of the chain dominate. The skew
+    // goes on the *weight* (relative frequency), not the delta size —
+    // every transaction stays a unit modification.
     let txns = (0..n)
         .map(|i| {
-            TransactionType::modify(
-                format!(">R{}", i + 1),
-                format!("R{}", i + 1),
-                (1u64 << (n - 1 - i)) as f64,
-            )
+            TransactionType::modify(format!(">R{}", i + 1), format!("R{}", i + 1), 1.0)
+                .with_weight((1u64 << (n - 1 - i)) as f64)
         })
         .collect();
     PaperScenario {

@@ -164,6 +164,130 @@ pub fn random_dept_updates(
     out
 }
 
+/// A reproducible *mixed* stream of transactions against data loaded by
+/// [`load_paper_data`]: single-employee salary modifications (~45%), hires
+/// (~15%), departures (~15%), department budget changes (~10%), and
+/// multi-row "across-the-board" raises touching up to sixteen employees
+/// in distinct departments as one transaction (~15%). The generator tracks
+/// the live roster so every delta references exactly the pre-update state
+/// of its tuples, and no delta touches the same tuple twice.
+pub fn mixed_workload(
+    departments: usize,
+    emps_per_dept: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<(String, Delta)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Roster: name -> (dept index, salary), mirroring load_paper_data.
+    let mut names: Vec<String> = Vec::with_capacity(departments * emps_per_dept);
+    let mut roster: std::collections::HashMap<String, (usize, i64)> =
+        std::collections::HashMap::new();
+    for d in 0..departments {
+        for e in 0..emps_per_dept {
+            let name = format!("emp{d:05}_{e}");
+            roster.insert(name.clone(), (d, 100));
+            names.push(name);
+        }
+    }
+    let mut budgets: std::collections::HashMap<usize, i64> = std::collections::HashMap::new();
+    let default_budget = (emps_per_dept as i64) * 200;
+    let mut hired = 0usize;
+    let dname_of = |d: usize| format!("dept{d:05}");
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut roll = rng.gen_range(0..100);
+        if (45..75).contains(&roll) && names.len() < 2 {
+            roll = 0; // too few employees to hire/fire around: modify instead
+        }
+        if (85..100).contains(&roll) && names.len() < 4 {
+            roll = 0; // not enough staff for a broad raise: modify instead
+        }
+        if roll < 45 {
+            // Salary modification (the paper's `>Emp`).
+            let i = rng.gen_range(0..names.len());
+            let name = names[i].clone();
+            let (d, old_salary) = roster[&name];
+            let mut new_salary = rng.gen_range(50..250);
+            if new_salary == old_salary {
+                new_salary += 1;
+            }
+            roster.insert(name.clone(), (d, new_salary));
+            out.push((
+                "Emp".to_string(),
+                Delta::modify(
+                    tuple![name.clone(), dname_of(d), old_salary],
+                    tuple![name, dname_of(d), new_salary],
+                    1,
+                ),
+            ));
+        } else if roll < 60 {
+            // Hire: fresh primary key, random department.
+            let d = rng.gen_range(0..departments);
+            let salary = rng.gen_range(50..250) as i64;
+            let name = format!("hire{hired:06}");
+            hired += 1;
+            roster.insert(name.clone(), (d, salary));
+            names.push(name.clone());
+            out.push((
+                "Emp".to_string(),
+                Delta::insert(tuple![name, dname_of(d), salary], 1),
+            ));
+        } else if roll < 75 {
+            // Departure: remove a random employee.
+            let i = rng.gen_range(0..names.len());
+            let name = names.swap_remove(i);
+            let (d, salary) = roster.remove(&name).expect("rostered");
+            out.push((
+                "Emp".to_string(),
+                Delta::delete(tuple![name, dname_of(d), salary], 1),
+            ));
+        } else if roll < 85 {
+            // Budget change (the paper's `>Dept`).
+            let d = rng.gen_range(0..departments);
+            let old_budget = *budgets.entry(d).or_insert(default_budget);
+            let mut new_budget = rng.gen_range(500..3_000) as i64;
+            if new_budget == old_budget {
+                new_budget += 1;
+            }
+            budgets.insert(d, new_budget);
+            out.push((
+                "Dept".to_string(),
+                Delta::modify(
+                    tuple![dname_of(d), format!("mgr{d}"), old_budget],
+                    tuple![dname_of(d), format!("mgr{d}"), new_budget],
+                    1,
+                ),
+            ));
+        } else {
+            // Across-the-board raise: one transaction modifying up to
+            // sixteen distinct employees (hence up to sixteen distinct
+            // departments) at once.
+            let k = rng.gen_range(8..17).min(names.len());
+            let mut picked = std::collections::BTreeSet::new();
+            while picked.len() < k {
+                picked.insert(rng.gen_range(0..names.len()));
+            }
+            let mut delta = Delta::new();
+            for i in picked {
+                let name = names[i].clone();
+                let (d, old_salary) = roster[&name];
+                let mut new_salary = old_salary + rng.gen_range(5..25) as i64;
+                if new_salary == old_salary {
+                    new_salary += 1;
+                }
+                roster.insert(name.clone(), (d, new_salary));
+                delta.push_modify(
+                    tuple![name.clone(), dname_of(d), old_salary],
+                    tuple![name, dname_of(d), new_salary],
+                    1,
+                );
+            }
+            out.push(("Emp".to_string(), delta));
+        }
+    }
+    out
+}
+
 /// Render a `Value` matrix as an aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -249,6 +373,59 @@ mod tests {
         for (table, delta) in random_dept_updates(10, 5, 10, 7) {
             db.apply_delta(&table, delta).unwrap();
         }
+    }
+
+    #[test]
+    fn mixed_workload_is_reproducible_and_applies_cleanly() {
+        let a = mixed_workload(10, 5, 60, 99);
+        let b = mixed_workload(10, 5, 60, 99);
+        assert_eq!(a, b);
+        // Must contain all four transaction kinds at this size.
+        let inserts = a.iter().filter(|(_, d)| !d.inserts.is_empty()).count();
+        let deletes = a.iter().filter(|(_, d)| !d.deletes.is_empty()).count();
+        let dept_mods = a.iter().filter(|(t, _)| t == "Dept").count();
+        assert!(inserts > 0 && deletes > 0 && dept_mods > 0);
+        // Every delta references the exact pre-update state of its tuple.
+        let mut db = paper_schema_db();
+        load_paper_data(&mut db, 10, 5);
+        for (table, delta) in a {
+            db.apply_delta(&table, delta).unwrap();
+        }
+    }
+
+    #[test]
+    fn propagation_modes_agree_end_to_end() {
+        use spacetime_ivm::{verify_all_views, PropagationMode};
+        let build = |mode: PropagationMode| {
+            let mut db = paper_schema_db();
+            db.set_propagation_mode(mode);
+            load_paper_data(&mut db, 10, 5);
+            db.execute_sql(
+                "CREATE MATERIALIZED VIEW DeptProfile AS \
+                 SELECT DName, COUNT(*) AS Heads, MAX(Salary) AS TopSal \
+                 FROM Emp GROUP BY DName",
+            )
+            .unwrap();
+            db.execute_sql("CREATE MATERIALIZED VIEW ActiveDepts AS SELECT DISTINCT DName FROM Emp")
+                .unwrap();
+            db
+        };
+        let mut pk = build(PropagationMode::PerKey);
+        let mut ba = build(PropagationMode::Batched);
+        for (table, delta) in mixed_workload(10, 5, 50, 7) {
+            let r_pk = pk.apply_delta(&table, delta.clone()).unwrap();
+            let r_ba = ba.apply_delta(&table, delta).unwrap();
+            assert_eq!(r_pk, r_ba, "charged I/O must not depend on the mode");
+        }
+        for name in ["DeptProfile", "ActiveDepts"] {
+            assert_eq!(
+                pk.catalog.table(name).unwrap().relation.data(),
+                ba.catalog.table(name).unwrap().relation.data(),
+                "{name} diverged between modes"
+            );
+        }
+        assert!(verify_all_views(&pk).unwrap().is_empty());
+        assert!(verify_all_views(&ba).unwrap().is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fmt;
 use spacetime_storage::{Bag, StorageResult, Tuple, Value};
 
 /// A modification of `count` copies of `old` into `new`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Modify {
     /// The tuple's previous value.
     pub old: Tuple,

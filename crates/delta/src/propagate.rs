@@ -28,11 +28,11 @@
 //! 3. **Input re-query**: otherwise, fetch the affected group's old tuples
 //!    from the input (Q4e's 11 page I/Os when N3 is not materialized).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use spacetime_algebra::eval::aggregate_bag;
 use spacetime_algebra::{AggExpr, AggFunc, ExprNode, JoinCondition, OpKind, ScalarExpr};
-use spacetime_storage::{Bag, StorageError, StorageResult, Tuple, Value};
+use spacetime_storage::{Bag, HashIndex, StorageError, StorageResult, Tuple, Value};
 
 use crate::delta::{Delta, Modify};
 
@@ -43,6 +43,26 @@ pub trait InputAccess {
     /// node"; implementations charge lookup or evaluation cost as
     /// appropriate.
     fn matching(&mut self, child: usize, cols: &[usize], key: &[Value]) -> StorageResult<Bag>;
+
+    /// Answer one posed query per key in a single batch: key → matching
+    /// tuples of input `child`. The rules collect each delta's distinct
+    /// keys up front and call this once per (child, cols), so
+    /// implementations can amortize plan choice and index resolution
+    /// across the whole delta. The default answers key by key via
+    /// [`InputAccess::matching`]; overrides must charge the same I/O —
+    /// batching may change wall-clock time, never the charged counters.
+    fn matching_all(
+        &mut self,
+        child: usize,
+        cols: &[usize],
+        keys: &[Vec<Value>],
+    ) -> StorageResult<BTreeMap<Vec<Value>, Bag>> {
+        let mut out = BTreeMap::new();
+        for key in keys {
+            out.insert(key.clone(), self.matching(child, cols, key)?);
+        }
+        Ok(out)
+    }
 
     /// The node's own old output rows whose `cols` project to `key`, *if*
     /// the node's output is materialized; `None` when it is not.
@@ -72,6 +92,12 @@ pub struct BagAccess {
     pub complete: bool,
     /// Number of `matching` queries answered.
     pub queries_posed: usize,
+    /// Answer `matching_all` by partitioning the child once with a
+    /// [`HashIndex`] instead of filtering per key. Output and
+    /// `queries_posed` accounting are identical either way (property-tested
+    /// in `tests/prop_delta.rs`); this double exists so tests can compare
+    /// the two paths.
+    pub batched: bool,
 }
 
 impl BagAccess {
@@ -108,6 +134,33 @@ impl InputAccess for BagAccess {
     fn matching(&mut self, child: usize, cols: &[usize], key: &[Value]) -> StorageResult<Bag> {
         self.queries_posed += 1;
         Ok(filter_by_key(&self.children[child], cols, key))
+    }
+
+    fn matching_all(
+        &mut self,
+        child: usize,
+        cols: &[usize],
+        keys: &[Vec<Value>],
+    ) -> StorageResult<BTreeMap<Vec<Value>, Bag>> {
+        let mut out = BTreeMap::new();
+        if !self.batched {
+            for key in keys {
+                out.insert(key.clone(), self.matching(child, cols, key)?);
+            }
+            return Ok(out);
+        }
+        // One physical pass over the child, then O(1) probes — but still
+        // one *posed query* per key, exactly like the per-key path.
+        let mut partition = HashIndex::new(cols.to_vec());
+        partition.rebuild(&self.children[child]);
+        for key in keys {
+            self.queries_posed += 1;
+            out.insert(
+                key.clone(),
+                partition.probe(key).cloned().unwrap_or_default(),
+            );
+        }
+        Ok(out)
     }
 
     fn self_rows(&mut self, cols: &[usize], key: &[Value]) -> StorageResult<Option<Bag>> {
@@ -245,24 +298,32 @@ fn propagate_join(
         }
     };
 
-    let mut out = Delta::new();
-    // Cache lookups per key: one query per distinct key, as the paper's
-    // cost tables assume.
-    let mut cache: BTreeMap<Vec<Value>, Bag> = BTreeMap::new();
-    let mut lookup = |key: &Vec<Value>, access: &mut dyn InputAccess| -> StorageResult<Bag> {
-        if let Some(hit) = cache.get(key) {
-            return Ok(hit.clone());
+    // Collect the delta's distinct join keys up front and pose *one*
+    // batched query for all of them — one posed query per distinct key, as
+    // the paper's cost tables assume, with plan choice amortized across
+    // the delta by the access implementation.
+    let mut keys: BTreeSet<Vec<Value>> = BTreeSet::new();
+    for (t, _) in d.inserts.iter().chain(d.deletes.iter()) {
+        if let Some(key) = key_of(t, &my_cols) {
+            keys.insert(key);
         }
-        let b = access.matching(other_child, &other_cols, key)?;
-        cache.insert(key.clone(), b.clone());
-        Ok(b)
-    };
+    }
+    for m in &d.modifies {
+        if let Some(key) = key_of(&m.old, &my_cols) {
+            keys.insert(key);
+        }
+    }
+    let keys: Vec<Vec<Value>> = keys.into_iter().collect();
+    let matches = access.matching_all(other_child, &other_cols, &keys)?;
+    let empty = Bag::new();
+    let lookup = |key: &[Value]| -> &Bag { matches.get(key).unwrap_or(&empty) };
 
+    let mut out = Delta::new();
     for (t, c) in d.inserts.iter() {
         let Some(key) = key_of(t, &my_cols) else {
             continue;
         };
-        for (o, oc) in lookup(&key, access)?.iter() {
+        for (o, oc) in lookup(&key).iter() {
             let joined = concat(t, o);
             if residual_ok(&joined)? {
                 out.inserts.insert(joined, c * oc);
@@ -273,7 +334,7 @@ fn propagate_join(
         let Some(key) = key_of(t, &my_cols) else {
             continue;
         };
-        for (o, oc) in lookup(&key, access)?.iter() {
+        for (o, oc) in lookup(&key).iter() {
             let joined = concat(t, o);
             if residual_ok(&joined)? {
                 out.deletes.insert(joined, c * oc);
@@ -284,7 +345,7 @@ fn propagate_join(
         let Some(key) = key_of(&m.old, &my_cols) else {
             continue;
         };
-        for (o, oc) in lookup(&key, access)?.iter() {
+        for (o, oc) in lookup(&key).iter() {
             let old_j = concat(&m.old, o);
             let new_j = concat(&m.new, o);
             match (residual_ok(&old_j)?, residual_ok(&new_j)?) {
@@ -348,10 +409,36 @@ fn propagate_aggregate(
             .push(m.clone());
     }
 
+    // Pass 1: resolve the query-free regimes (1 and 2) per group, in key
+    // order, collecting the keys that need the regime-3 input re-query.
     let self_cols: Vec<usize> = (0..group_by.len()).collect();
-    let mut out = Delta::new();
+    let mut resolved: BTreeMap<&Vec<Value>, (Option<Tuple>, Option<Tuple>)> = BTreeMap::new();
+    let mut pending: Vec<Vec<Value>> = Vec::new();
     for (key, gd) in &groups {
-        let (old_row, new_row) = group_rows(group_by, aggs, key, gd, &self_cols, access)?;
+        match group_rows_query_free(group_by, aggs, key, gd, &self_cols, access)? {
+            Some(rows) => {
+                resolved.insert(key, rows);
+            }
+            None => pending.push(key.clone()),
+        }
+    }
+
+    // One batched query fetches every re-queried group's old contents —
+    // still one posed query per affected group, as §3.6 prices it (Q4e).
+    let fetched = access.matching_all(0, group_by, &pending)?;
+
+    // Pass 2: emit rows in key order, so the output delta is identical to
+    // the one the per-key path produced.
+    let mut out = Delta::new();
+    let empty = Bag::new();
+    for (key, gd) in &groups {
+        let (old_row, new_row) = match resolved.remove(key) {
+            Some(rows) => rows,
+            None => {
+                let old_group = fetched.get(key).unwrap_or(&empty);
+                group_rows_requeried(group_by, aggs, gd, old_group)?
+            }
+        };
         match (old_row, new_row) {
             (None, None) => {}
             (None, Some(n)) => out.inserts.insert(n, 1),
@@ -362,14 +449,17 @@ fn propagate_aggregate(
     Ok(out)
 }
 
-fn group_rows(
+/// Regimes 1 and 2: the group's (old, new) rows when no input query is
+/// needed, or `None` when the group must fall through to the regime-3
+/// re-query.
+fn group_rows_query_free(
     group_by: &[usize],
     aggs: &[AggExpr],
     key: &[Value],
     gd: &GroupDelta,
     self_cols: &[usize],
     access: &mut dyn InputAccess,
-) -> StorageResult<(Option<Tuple>, Option<Tuple>)> {
+) -> StorageResult<Option<(Option<Tuple>, Option<Tuple>)>> {
     // Regime 1: the delta contains the whole group — no query at all.
     if access.group_complete(group_by) {
         let mut old_group = gd.del.clone();
@@ -380,7 +470,7 @@ fn group_rows(
         }
         let old_row = agg_single_row(&old_group, group_by, aggs)?;
         let new_row = agg_single_row(&new_group, group_by, aggs)?;
-        return Ok((old_row, new_row));
+        return Ok(Some((old_row, new_row)));
     }
 
     // Regime 2: self-maintainable from the node's own materialization.
@@ -393,27 +483,32 @@ fn group_rows(
     if invertible_shape {
         if let Some(rows) = access.self_rows(self_cols, key)? {
             let old_row = rows.iter().next().map(|(t, _)| t.clone());
-            match old_row {
+            return match old_row {
                 Some(old) => {
                     let new = adjust_row(&old, group_by, aggs, gd)?;
-                    return Ok((Some(old), Some(new)));
+                    Ok(Some((Some(old), Some(new))))
                 }
                 None if gd.mods.is_empty() => {
                     // A brand-new group built entirely from inserts.
                     let new_row = agg_single_row(&gd.ins, group_by, aggs)?;
-                    return Ok((None, new_row));
+                    Ok(Some((None, new_row)))
                 }
-                None => {
-                    return Err(StorageError::TupleNotFound {
-                        relation: "<materialized aggregate group>".into(),
-                    })
-                }
-            }
+                None => Err(StorageError::TupleNotFound {
+                    relation: "<materialized aggregate group>".into(),
+                }),
+            };
         }
     }
+    Ok(None)
+}
 
-    // Regime 3: re-query the input for the group's old contents.
-    let old_group = access.matching(0, group_by, key)?;
+/// Regime 3: the group's (old, new) rows from its re-queried old contents.
+fn group_rows_requeried(
+    group_by: &[usize],
+    aggs: &[AggExpr],
+    gd: &GroupDelta,
+    old_group: &Bag,
+) -> StorageResult<(Option<Tuple>, Option<Tuple>)> {
     let mut new_group = old_group.clone();
     for (t, c) in gd.del.iter() {
         new_group.remove(t, c)?;
@@ -427,7 +522,7 @@ fn group_rows(
     for (t, c) in gd.ins.iter() {
         new_group.insert(t.clone(), c);
     }
-    let old_row = agg_single_row(&old_group, group_by, aggs)?;
+    let old_row = agg_single_row(old_group, group_by, aggs)?;
     let new_row = agg_single_row(&new_group, group_by, aggs)?;
     Ok((old_row, new_row))
 }
@@ -569,10 +664,16 @@ fn propagate_distinct(
     access: &mut dyn InputAccess,
 ) -> StorageResult<Delta> {
     let all_cols: Vec<usize> = (0..arity).collect();
+    let net = delta.net();
+    // One batched query over the net delta's distinct tuples (sorted for a
+    // deterministic posing order).
+    let mut keys: Vec<Vec<Value>> = net.keys().map(|t| t.values().to_vec()).collect();
+    keys.sort();
+    let counts = access.matching_all(0, &all_cols, &keys)?;
     let mut out = Delta::new();
-    for (t, signed) in delta.net() {
+    for (t, signed) in net {
         let key: Vec<Value> = t.values().to_vec();
-        let old_count = access.matching(0, &all_cols, &key)?.len() as i64;
+        let old_count = counts.get(&key).map_or(0, |b| b.len()) as i64;
         let new_count = old_count + signed;
         if new_count < 0 {
             return Err(StorageError::TupleNotFound {

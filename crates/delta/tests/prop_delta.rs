@@ -64,6 +64,14 @@ fn delta_from(base: &Bag, ops: &[(u8, i64, i64, u8)]) -> Delta {
     delta
 }
 
+/// Canonicalize a delta for comparison: `modifies` is a `Vec` whose order
+/// depends on bag iteration order, which differs between two `Bag`
+/// instances; the multiset semantics do not.
+fn canon(mut d: Delta) -> Delta {
+    d.modifies.sort();
+    d
+}
+
 fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64, u8)>> {
     prop::collection::vec((0i64..4, 0i64..20, any::<u8>()), 0..7)
 }
@@ -194,6 +202,190 @@ proptest! {
             aggregate_bag(&new_base, &[0], &aggs).unwrap()
         };
         d_out.apply_to(&mut old_out).unwrap();
+        prop_assert_eq!(old_out, expect);
+    }
+
+    /// The batched data plane is a wall-clock optimisation only: answering
+    /// the posed queries through one hash partition per (child, cols) must
+    /// yield the same delta AND the same number of posed queries as the
+    /// per-key path, and both must agree with recomputation.
+    #[test]
+    fn batched_join_matches_per_key_and_oracle(
+        lrows in rows_strategy(),
+        rrows in rows_strategy(),
+        ops in ops_strategy(),
+        side in 0usize..2,
+    ) {
+        let cat = catalog();
+        let l = ExprNode::scan(&cat, "L").unwrap();
+        let r = ExprNode::scan(&cat, "R").unwrap();
+        let node = ExprNode::join_on(l, r, &[("L.k", "R.k")]).unwrap();
+        let cond = JoinCondition::on(vec![(0, 0)]);
+        let lbase = bag_from(&lrows);
+        let rbase = bag_from(&rrows);
+        let delta = delta_from(if side == 0 { &lbase } else { &rbase }, &ops);
+
+        let mut per_key = BagAccess::new(vec![lbase.clone(), rbase.clone()]);
+        let mut batched = BagAccess::new(vec![lbase.clone(), rbase.clone()]);
+        batched.batched = true;
+        let d_pk = propagate(&node, side, &delta, &mut per_key).unwrap();
+        let d_b = propagate(&node, side, &delta, &mut batched).unwrap();
+        prop_assert_eq!(canon(d_pk.clone()), canon(d_b));
+        prop_assert_eq!(per_key.queries_posed, batched.queries_posed);
+
+        let mut old_out = join_bags(&lbase, &rbase, &cond).unwrap();
+        let (mut nl, mut nr) = (lbase.clone(), rbase.clone());
+        if side == 0 {
+            delta.apply_to(&mut nl).unwrap();
+        } else {
+            delta.apply_to(&mut nr).unwrap();
+        }
+        let expect = join_bags(&nl, &nr, &cond).unwrap();
+        d_pk.apply_to(&mut old_out).unwrap();
+        prop_assert_eq!(old_out, expect);
+    }
+
+    #[test]
+    fn batched_aggregate_matches_per_key_and_oracle(
+        rows in rows_strategy(),
+        ops in ops_strategy(),
+        materialized in any::<bool>(),
+    ) {
+        let cat = catalog();
+        let l = ExprNode::scan(&cat, "L").unwrap();
+        let node = ExprNode::aggregate(
+            l,
+            vec![0],
+            vec![
+                AggExpr::new(AggFunc::Sum, ScalarExpr::col(1), "s"),
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Max, ScalarExpr::col(1), "hi"),
+                AggExpr::new(AggFunc::Avg, ScalarExpr::col(1), "a"),
+            ],
+        )
+        .unwrap();
+        let aggs = match &node.op {
+            spacetime_algebra::OpKind::Aggregate { aggs, .. } => aggs.clone(),
+            _ => unreachable!(),
+        };
+        let base = bag_from(&rows);
+        let delta = delta_from(&base, &ops);
+        let mut old_out = aggregate_bag(&base, &[0], &aggs).unwrap();
+        if base.is_empty() {
+            old_out = Bag::new();
+        }
+        let make = |batched: bool| -> BagAccess {
+            let mut a = if materialized {
+                BagAccess::materialized(vec![base.clone()], old_out.clone())
+            } else {
+                BagAccess::new(vec![base.clone()])
+            };
+            a.batched = batched;
+            a
+        };
+        let mut per_key = make(false);
+        let mut batched = make(true);
+        let d_pk = propagate(&node, 0, &delta, &mut per_key).unwrap();
+        let d_b = propagate(&node, 0, &delta, &mut batched).unwrap();
+        prop_assert_eq!(canon(d_pk.clone()), canon(d_b));
+        prop_assert_eq!(per_key.queries_posed, batched.queries_posed);
+
+        let mut new_base = base.clone();
+        delta.apply_to(&mut new_base).unwrap();
+        let expect = if new_base.is_empty() {
+            Bag::new()
+        } else {
+            aggregate_bag(&new_base, &[0], &aggs).unwrap()
+        };
+        d_pk.apply_to(&mut old_out).unwrap();
+        prop_assert_eq!(old_out, expect);
+    }
+
+    #[test]
+    fn batched_distinct_matches_per_key(rows in rows_strategy(), ops in ops_strategy()) {
+        let cat = catalog();
+        let l = ExprNode::scan(&cat, "L").unwrap();
+        let node = ExprNode::distinct(l).unwrap();
+        let base = bag_from(&rows);
+        let delta = delta_from(&base, &ops);
+        let mut per_key = BagAccess::new(vec![base.clone()]);
+        let mut batched = BagAccess::new(vec![base.clone()]);
+        batched.batched = true;
+        let d_pk = propagate(&node, 0, &delta, &mut per_key).unwrap();
+        let d_b = propagate(&node, 0, &delta, &mut batched).unwrap();
+        prop_assert_eq!(canon(d_pk), canon(d_b));
+        prop_assert_eq!(per_key.queries_posed, batched.queries_posed);
+    }
+
+    /// Two-level tree: the join's output delta feeds an aggregate over the
+    /// join. Both stages must agree between modes, and the composed result
+    /// must match recomputing the whole tree over updated inputs.
+    #[test]
+    fn batched_tree_join_then_aggregate(
+        lrows in rows_strategy(),
+        rrows in rows_strategy(),
+        ops in ops_strategy(),
+        side in 0usize..2,
+    ) {
+        let cat = catalog();
+        let l = ExprNode::scan(&cat, "L").unwrap();
+        let r = ExprNode::scan(&cat, "R").unwrap();
+        let join = ExprNode::join_on(l, r, &[("L.k", "R.k")]).unwrap();
+        let cond = JoinCondition::on(vec![(0, 0)]);
+        let agg = ExprNode::aggregate(
+            join.clone(),
+            vec![0],
+            vec![
+                AggExpr::new(AggFunc::Sum, ScalarExpr::col(1), "s"),
+                AggExpr::count_star("n"),
+            ],
+        )
+        .unwrap();
+        let aggs = match &agg.op {
+            spacetime_algebra::OpKind::Aggregate { aggs, .. } => aggs.clone(),
+            _ => unreachable!(),
+        };
+        let lbase = bag_from(&lrows);
+        let rbase = bag_from(&rrows);
+        let delta = delta_from(if side == 0 { &lbase } else { &rbase }, &ops);
+        let old_join = join_bags(&lbase, &rbase, &cond).unwrap();
+        let mut old_out = if old_join.is_empty() {
+            Bag::new()
+        } else {
+            aggregate_bag(&old_join, &[0], &aggs).unwrap()
+        };
+
+        // Stage 1: through the join, both modes.
+        let mut per_key = BagAccess::new(vec![lbase.clone(), rbase.clone()]);
+        let mut batched = BagAccess::new(vec![lbase.clone(), rbase.clone()]);
+        batched.batched = true;
+        let dj = propagate(&join, side, &delta, &mut per_key).unwrap();
+        let dj_b = propagate(&join, side, &delta, &mut batched).unwrap();
+        prop_assert_eq!(canon(dj.clone()), canon(dj_b));
+
+        // Stage 2: the same join delta through the aggregate, both modes.
+        let mut per_key = BagAccess::materialized(vec![old_join.clone()], old_out.clone());
+        let mut batched = BagAccess::materialized(vec![old_join.clone()], old_out.clone());
+        batched.batched = true;
+        let da = propagate(&agg, 0, &dj, &mut per_key).unwrap();
+        let da_b = propagate(&agg, 0, &dj, &mut batched).unwrap();
+        prop_assert_eq!(canon(da.clone()), canon(da_b));
+        prop_assert_eq!(per_key.queries_posed, batched.queries_posed);
+
+        // Oracle for the whole tree.
+        let (mut nl, mut nr) = (lbase.clone(), rbase.clone());
+        if side == 0 {
+            delta.apply_to(&mut nl).unwrap();
+        } else {
+            delta.apply_to(&mut nr).unwrap();
+        }
+        let new_join = join_bags(&nl, &nr, &cond).unwrap();
+        let expect = if new_join.is_empty() {
+            Bag::new()
+        } else {
+            aggregate_bag(&new_join, &[0], &aggs).unwrap()
+        };
+        da.apply_to(&mut old_out).unwrap();
         prop_assert_eq!(old_out, expect);
     }
 

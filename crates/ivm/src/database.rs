@@ -18,7 +18,7 @@ use spacetime_sql::{lower::lower_literal_row, lower_select, parse_statements, St
 use spacetime_storage::{Bag, Catalog, Column, IoMeter, Schema, Tuple, Value};
 
 use crate::constraints::{Assertion, Violation};
-use crate::engine::{IvmEngine, UpdateReport};
+use crate::engine::{IvmEngine, PropagationMode, UpdateReport};
 use crate::{IvmError, IvmResult};
 
 /// How auxiliary views are chosen when a view/assertion is created.
@@ -62,6 +62,7 @@ pub struct Database {
     assertions: Vec<Assertion>,
     workload: Vec<TransactionType>,
     selection: ViewSelection,
+    mode: PropagationMode,
     /// Accumulated maintenance reports (for benchmarking).
     pub last_report: Option<UpdateReport>,
 }
@@ -81,6 +82,7 @@ impl Database {
             assertions: Vec::new(),
             workload: Vec::new(),
             selection: ViewSelection::default(),
+            mode: PropagationMode::default(),
             last_report: None,
         }
     }
@@ -88,6 +90,16 @@ impl Database {
     /// Set the view-selection strategy for subsequently created views.
     pub fn set_view_selection(&mut self, s: ViewSelection) {
         self.selection = s;
+    }
+
+    /// Set the propagation data plane for every engine, existing and
+    /// future. Both modes produce identical deltas and charge identical
+    /// I/O; [`PropagationMode::PerKey`] is the benchmark baseline.
+    pub fn set_propagation_mode(&mut self, mode: PropagationMode) {
+        self.mode = mode;
+        for e in &mut self.engines {
+            e.set_propagation_mode(mode);
+        }
     }
 
     /// Declare the workload (transaction types with weights) the optimizer
@@ -280,7 +292,8 @@ impl Database {
                     .view_set
             }
         };
-        let engine = IvmEngine::build(name, memo, root, view_set, &mut self.catalog)?;
+        let mut engine = IvmEngine::build(name, memo, root, view_set, &mut self.catalog)?;
+        engine.set_propagation_mode(self.mode);
         self.engines.push(engine);
         Ok(self.engines.last().expect("just pushed"))
     }
@@ -338,12 +351,13 @@ impl Database {
             &config,
             Some(3),
         );
-        let engine = IvmEngine::build_with_roots(
+        let mut engine = IvmEngine::build_with_roots(
             named_roots,
             memo,
             outcome.best.view_set,
             &mut self.catalog,
         )?;
+        engine.set_propagation_mode(self.mode);
         self.engines.push(engine);
         Ok(self.engines.last().expect("just pushed"))
     }

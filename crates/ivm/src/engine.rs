@@ -23,11 +23,42 @@ use spacetime_optimizer::tracks::UpdateTrack;
 use spacetime_optimizer::{EvalConfig, ViewSet};
 use spacetime_storage::{Bag, Catalog, IoMeter, StorageResult, Value};
 
-use crate::qexec::{filter_binding, QueryExec};
+use crate::qexec::{filter_binding, PlanCache, QueryExec};
 use crate::{IvmError, IvmResult};
 
+/// Which data plane [`IvmEngine::plan_update`] uses to answer the posed
+/// queries of delta propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationMode {
+    /// One posed query at a time, plans re-costed per key, self-rows found
+    /// by filtering the whole materialization — the pre-batching data
+    /// plane, kept as the measurable baseline.
+    PerKey,
+    /// Each delta's distinct keys are collected up front and answered by
+    /// one batched query per (child, columns), with plan choices cached
+    /// across updates and self-maintenance reads answered by index probes.
+    /// Produces bit-identical deltas and charges bit-identical I/O to
+    /// [`PropagationMode::PerKey`] — batching changes wall-clock only.
+    #[default]
+    Batched,
+}
+
+/// Per-engine state the propagation hot path reuses across updates, so a
+/// stream of transactions does zero per-update setup: per-table topo
+/// orders and leaf groups (computed once at build), and the runtime plan
+/// cache (valid until statistics change, which only `analyze()` does).
+#[derive(Debug, Default)]
+struct PropagationCtx {
+    /// Children-first order of each table's track groups.
+    topo: BTreeMap<String, Vec<GroupId>>,
+    /// The leaf group scanning each table.
+    leaves: BTreeMap<String, GroupId>,
+    /// Cached runtime plan decisions (used by the batched mode).
+    plans: PlanCache,
+}
+
 /// Per-bucket I/O accounting for one propagated update.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UpdateReport {
     /// I/O spent answering the posed queries (delta computation).
     pub query_io: IoMeter,
@@ -115,6 +146,10 @@ pub struct IvmEngine {
     tracks: BTreeMap<String, UpdateTrack>,
     /// Key-elimination result per (table, aggregate op on that track).
     complete: BTreeMap<(String, OpId), bool>,
+    /// Reused propagation state (topo orders, leaf groups, plan cache).
+    prop_ctx: PropagationCtx,
+    /// Which data plane answers posed queries.
+    mode: PropagationMode,
 }
 
 impl IvmEngine {
@@ -158,7 +193,10 @@ impl IvmEngine {
             .collect();
         let model = PageIoCostModel::default();
 
-        // Materialize every marked group.
+        // Materialize every marked group. Queryable column sets for the
+        // whole memo are collected in one pass, instead of re-walking
+        // every memo op per materialized group.
+        let index_map = needed_indexes_map(&memo);
         let mut materialized = BTreeMap::new();
         for &g in &view_set {
             let table_name = if let Some((n, _)) = named_roots.iter().find(|&&(_, r)| r == g) {
@@ -171,7 +209,7 @@ impl IvmEngine {
             let tree = memo.extract_one(g);
             let contents = spacetime_algebra::eval_uncharged(&tree, catalog)?;
             // Indexes: one per column set this node can be queried on.
-            let mut index_sets = needed_indexes(&memo, g);
+            let mut index_sets = index_map.get(&g).cloned().unwrap_or_default();
             index_sets.sort();
             index_sets.dedup();
             {
@@ -234,6 +272,18 @@ impl IvmEngine {
             tracks.insert(table.clone(), track);
         }
 
+        // Per-table propagation state, computed once instead of on every
+        // update: topo order and leaf group of each track.
+        let mut prop_ctx = PropagationCtx::default();
+        for (table, track) in &tracks {
+            prop_ctx
+                .topo
+                .insert(table.clone(), topo_order(&memo, track));
+            if let Some(leaf) = roots.iter().find_map(|&r| leaf_group(&memo, r, table)) {
+                prop_ctx.leaves.insert(table.clone(), leaf);
+            }
+        }
+
         Ok(IvmEngine {
             name,
             memo,
@@ -244,7 +294,21 @@ impl IvmEngine {
             model,
             tracks,
             complete,
+            prop_ctx,
+            mode: PropagationMode::default(),
         })
+    }
+
+    /// Switch the data plane answering posed queries. Both modes produce
+    /// identical deltas and charge identical I/O; `PerKey` exists as the
+    /// benchmark baseline.
+    pub fn set_propagation_mode(&mut self, mode: PropagationMode) {
+        self.mode = mode;
+    }
+
+    /// The active propagation mode.
+    pub fn propagation_mode(&self) -> PropagationMode {
+        self.mode
     }
 
     /// Whether this engine's DAG reads `table`.
@@ -270,23 +334,27 @@ impl IvmEngine {
                 report,
             });
         };
-        let exec = QueryExec::new(&self.memo, catalog, self.materialized.clone());
+        let batched = self.mode == PropagationMode::Batched;
+        let mut exec = QueryExec::new(&self.memo, catalog, &self.materialized);
+        if batched {
+            exec = exec.with_plans(&self.prop_ctx.plans);
+        }
         let mut ctx = CostCtx::new(&self.memo, catalog, &self.model);
 
-        // Topological order of the track's groups (children first).
-        let order = topo_order(&self.memo, track);
-
-        let leaf = self
-            .roots
-            .iter()
-            .find_map(|&r| leaf_group(&self.memo, r, table))
-            .ok_or_else(|| {
-                IvmError::Unsupported(format!("table `{table}` not under view `{}`", self.name))
-            })?;
+        // Topological order of the track's groups (children first) and the
+        // table's leaf group, both computed once at build time.
+        let order = self
+            .prop_ctx
+            .topo
+            .get(table)
+            .expect("topo computed at build for every track");
+        let leaf = self.prop_ctx.leaves.get(table).copied().ok_or_else(|| {
+            IvmError::Unsupported(format!("table `{table}` not under view `{}`", self.name))
+        })?;
         let mut deltas: BTreeMap<GroupId, Delta> = BTreeMap::new();
         deltas.insert(leaf, base_delta.clone());
 
-        for g in order {
+        for &g in order {
             let Some(&op) = track.choices.get(&g) else {
                 continue;
             };
@@ -326,21 +394,22 @@ impl IvmEngine {
                 exec: &exec,
                 ctx: &mut ctx,
                 children: &children,
-                self_mv: self_mv.map(|t| t.relation.data()),
+                self_rel: self_mv.map(|t| &t.relation),
                 complete,
+                batched,
                 io: &mut report.query_io,
             };
             let d_out = spacetime_delta::propagate(&node, delta_child, &d_in, &mut access)?;
             deltas.insert(g, d_out);
         }
 
-        // Deltas for materialized nodes, children before parents, so
-        // commit order never violates referential assumptions.
-        let order = topo_order(&self.memo, track);
+        // Deltas for materialized nodes, children before parents (same
+        // topo order), so commit order never violates referential
+        // assumptions.
         let view_deltas: Vec<(GroupId, Delta)> = order
-            .into_iter()
+            .iter()
             .filter(|g| self.materialized.contains_key(g))
-            .filter_map(|g| deltas.get(&g).map(|d| (g, d.clone())))
+            .filter_map(|&g| deltas.get(&g).map(|d| (g, d.clone())))
             .filter(|(_, d)| !d.is_empty())
             .collect();
         Ok(PlannedUpdate {
@@ -397,8 +466,9 @@ struct EngineAccess<'e, 'c, 'x> {
     exec: &'e QueryExec<'e>,
     ctx: &'e mut CostCtx<'c>,
     children: &'e [GroupId],
-    self_mv: Option<&'e Bag>,
+    self_rel: Option<&'e spacetime_storage::Relation>,
     complete: bool,
+    batched: bool,
     io: &'x mut IoMeter,
 }
 
@@ -408,8 +478,47 @@ impl InputAccess for EngineAccess<'_, '_, '_> {
             .query(self.children[child], cols, key, self.ctx, self.io)
     }
 
+    fn matching_all(
+        &mut self,
+        child: usize,
+        cols: &[usize],
+        keys: &[Vec<Value>],
+    ) -> StorageResult<BTreeMap<Vec<Value>, Bag>> {
+        if self.batched {
+            return self
+                .exec
+                .query_all(self.children[child], cols, keys, self.ctx, self.io);
+        }
+        // Per-key baseline: pose and plan each query individually.
+        let mut out = BTreeMap::new();
+        for key in keys {
+            out.insert(key.clone(), self.matching(child, cols, key)?);
+        }
+        Ok(out)
+    }
+
     fn self_rows(&mut self, cols: &[usize], key: &[Value]) -> StorageResult<Option<Bag>> {
-        Ok(self.self_mv.map(|bag| filter_binding(bag, cols, key)))
+        let Some(rel) = self.self_rel else {
+            return Ok(None);
+        };
+        if self.batched {
+            // The build phase indexed every materialized aggregate on its
+            // group columns, so self-maintenance reads are O(1) probes.
+            if let Some((idx, permute)) = rel.find_exact_index(cols) {
+                let bag = if permute {
+                    let probe: Vec<Value> = rel
+                        .index_key_cols(idx)
+                        .iter()
+                        .map(|c| key[cols.iter().position(|x| x == c).expect("subset")].clone())
+                        .collect();
+                    rel.peek(idx, &probe).cloned().unwrap_or_default()
+                } else {
+                    rel.peek(idx, key).cloned().unwrap_or_default()
+                };
+                return Ok(Some(bag));
+            }
+        }
+        Ok(Some(filter_binding(rel.data(), cols, key)))
     }
 
     fn group_complete(&self, _cols: &[usize]) -> bool {
@@ -478,45 +587,42 @@ fn topo_order(memo: &Memo, track: &UpdateTrack) -> Vec<GroupId> {
     order
 }
 
-/// Column sets other nodes may query this group on (used to pre-create
-/// indexes on its materialization): join columns from parent joins, group
-/// columns from parent aggregates, and the node's own group columns (for
-/// self-maintenance lookups by the database layer).
-fn needed_indexes(memo: &Memo, g: GroupId) -> Vec<Vec<usize>> {
-    let g = memo.find(g);
-    let mut out = Vec::new();
-    for other in memo.groups() {
-        for op in memo.group_ops(other) {
+/// Column sets other nodes may query each group on (used to pre-create
+/// indexes on materializations): join columns from parent joins, group
+/// columns from parent aggregates, and each aggregate node's own group
+/// columns (for self-maintenance lookups by the database layer). One pass
+/// over the memo's ops covers every group, instead of one full walk per
+/// materialized group.
+fn needed_indexes_map(memo: &Memo) -> BTreeMap<GroupId, Vec<Vec<usize>>> {
+    let mut out: BTreeMap<GroupId, Vec<Vec<usize>>> = BTreeMap::new();
+    for group in memo.groups() {
+        for op in memo.group_ops(group) {
             let children = memo.op_children(op);
             match &memo.op(op).op {
                 OpKind::Join { condition } => {
-                    if children.first() == Some(&g) {
+                    if let Some(&c) = children.first() {
                         let cols = condition.left_cols();
                         if !cols.is_empty() {
-                            out.push(cols);
+                            out.entry(memo.find(c)).or_default().push(cols);
                         }
                     }
-                    if children.get(1) == Some(&g) {
+                    if let Some(&c) = children.get(1) {
                         let cols = condition.right_cols();
                         if !cols.is_empty() {
-                            out.push(cols);
+                            out.entry(memo.find(c)).or_default().push(cols);
                         }
                     }
                 }
-                OpKind::Aggregate { group_by, .. }
-                    if children.first() == Some(&g) && !group_by.is_empty() =>
-                {
-                    out.push(group_by.clone());
+                OpKind::Aggregate { group_by, .. } if !group_by.is_empty() => {
+                    if let Some(&c) = children.first() {
+                        out.entry(memo.find(c)).or_default().push(group_by.clone());
+                    }
+                    // The node's own aggregate output keys (group columns).
+                    out.entry(memo.find(group))
+                        .or_default()
+                        .push((0..group_by.len()).collect());
                 }
                 _ => {}
-            }
-        }
-    }
-    // The node's own aggregate output keys (group columns).
-    for op in memo.group_ops(g) {
-        if let OpKind::Aggregate { group_by, .. } = &memo.op(op).op {
-            if !group_by.is_empty() {
-                out.push((0..group_by.len()).collect());
             }
         }
     }

@@ -26,7 +26,7 @@ pub mod verify;
 
 pub use constraints::{Assertion, Violation};
 pub use database::{Database, ViewSelection};
-pub use engine::{IvmEngine, UpdateReport};
+pub use engine::{IvmEngine, PropagationMode, UpdateReport};
 pub use verify::verify_all_views;
 
 /// Errors surfaced by the runtime: storage/algebra errors plus SQL ones.

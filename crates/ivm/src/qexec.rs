@@ -8,13 +8,41 @@
 //! binding down. Executing the plans the optimizer priced is what makes
 //! the engine's *measured* page I/Os comparable to the *estimated* ones.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
 
 use spacetime_algebra::eval::{aggregate_bag, join_bags};
 use spacetime_algebra::{JoinCondition, OpKind, ScalarExpr};
 use spacetime_cost::{Cost, CostCtx, Marking};
 use spacetime_memo::{GroupId, Memo, OpId};
-use spacetime_storage::{Bag, Catalog, IoMeter, StorageResult, Value};
+use spacetime_storage::{Bag, Catalog, HashIndex, IoMeter, StorageResult, Value};
+
+/// Cached runtime plan decisions, shared across updates.
+///
+/// [`CostCtx`] borrows the catalog, which is mutated on every commit, so
+/// the *context* cannot outlive one update — but the *decisions* it
+/// produces depend only on the memo, the marking, and table statistics,
+/// and statistics change only on `analyze()`. Caching the chosen `OpId`
+/// per (group, bound columns) therefore reproduces exactly the plan a
+/// fresh cost context would pick, while skipping the costing recursion on
+/// every posed query after the first.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// Best op per (group, bound column set); `None` = group has no ops.
+    bound: Mutex<BoundPlans>,
+    /// Best op per group for a full (unbound) evaluation.
+    full: Mutex<HashMap<GroupId, Option<OpId>>>,
+}
+
+type BoundPlans = HashMap<(GroupId, Vec<usize>), Option<OpId>>;
+
+impl PlanCache {
+    /// Drop every cached decision (call after `analyze()` changes stats).
+    pub fn clear(&self) {
+        self.bound.lock().expect("not poisoned").clear();
+        self.full.lock().expect("not poisoned").clear();
+    }
+}
 
 /// Executes queries over the DAG against the catalog.
 pub struct QueryExec<'a> {
@@ -23,9 +51,11 @@ pub struct QueryExec<'a> {
     /// Storage (base tables and materialized views).
     pub catalog: &'a Catalog,
     /// Materialized groups → backing table name.
-    pub materialized: BTreeMap<GroupId, String>,
+    pub materialized: &'a BTreeMap<GroupId, String>,
     /// The same set as a cost-model marking.
     pub marking: Marking,
+    /// Cached plan choices (batched data plane); `None` re-costs per query.
+    plans: Option<&'a PlanCache>,
 }
 
 impl<'a> QueryExec<'a> {
@@ -33,7 +63,7 @@ impl<'a> QueryExec<'a> {
     pub fn new(
         memo: &'a Memo,
         catalog: &'a Catalog,
-        materialized: BTreeMap<GroupId, String>,
+        materialized: &'a BTreeMap<GroupId, String>,
     ) -> Self {
         let marking: Marking = materialized.keys().copied().collect();
         QueryExec {
@@ -41,7 +71,14 @@ impl<'a> QueryExec<'a> {
             catalog,
             materialized,
             marking,
+            plans: None,
         }
+    }
+
+    /// Reuse cached plan decisions across posed queries and updates.
+    pub fn with_plans(mut self, plans: &'a PlanCache) -> Self {
+        self.plans = Some(plans);
+        self
     }
 
     /// All tuples of `g` whose `cols` equal `key`.
@@ -58,9 +95,63 @@ impl<'a> QueryExec<'a> {
             return self.full_eval(g, ctx, io);
         }
         if let Some(table) = self.backing_table(g) {
-            return self.stored_lookup(&table, cols, key, io);
+            return self.stored_lookup(table, cols, key, io);
         }
-        // Pick the cheapest alternative, exactly as the optimizer did.
+        let Some(op) = self.best_query_op(g, cols, ctx) else {
+            return Ok(Bag::new());
+        };
+        self.query_via_op(op, cols, key, ctx, io)
+    }
+
+    /// Batched variant of [`QueryExec::query`]: answer one posed query per
+    /// key, resolving the plan (and any index choice) once for the whole
+    /// batch. Charges exactly the I/O the per-key path would — batching is
+    /// a wall-clock optimization, never an accounting one.
+    pub fn query_all(
+        &self,
+        g: GroupId,
+        cols: &[usize],
+        keys: &[Vec<Value>],
+        ctx: &mut CostCtx<'_>,
+        io: &mut IoMeter,
+    ) -> StorageResult<BTreeMap<Vec<Value>, Bag>> {
+        let mut out = BTreeMap::new();
+        if keys.is_empty() {
+            return Ok(out);
+        }
+        let g = self.memo.find(g);
+        if cols.is_empty() {
+            for key in keys {
+                out.insert(key.clone(), self.full_eval(g, ctx, io)?);
+            }
+            return Ok(out);
+        }
+        if let Some(table) = self.backing_table(g) {
+            return self.stored_lookup_all(table, cols, keys, io);
+        }
+        let Some(op) = self.best_query_op(g, cols, ctx) else {
+            for key in keys {
+                out.insert(key.clone(), Bag::new());
+            }
+            return Ok(out);
+        };
+        for key in keys {
+            out.insert(key.clone(), self.query_via_op(op, cols, key, ctx, io)?);
+        }
+        Ok(out)
+    }
+
+    /// The cheapest alternative for answering a bound query on `g`,
+    /// exactly as the optimizer priced it (first strictly-cheaper op wins,
+    /// matching the costing loop's tie-break). Cached when a [`PlanCache`]
+    /// is attached.
+    fn best_query_op(&self, g: GroupId, cols: &[usize], ctx: &mut CostCtx<'_>) -> Option<OpId> {
+        if let Some(pc) = self.plans {
+            let cache = pc.bound.lock().expect("not poisoned");
+            if let Some(&choice) = cache.get(&(g, cols.to_vec())) {
+                return choice;
+            }
+        }
         let mut best: Option<(Cost, OpId)> = None;
         for op in self.memo.group_ops(g) {
             let c = ctx.op_query_cost(op, cols, &self.marking);
@@ -68,22 +159,26 @@ impl<'a> QueryExec<'a> {
                 best = Some((c, op));
             }
         }
-        let Some((_, op)) = best else {
-            return Ok(Bag::new());
-        };
-        self.query_via_op(op, cols, key, ctx, io)
+        let choice = best.map(|(_, op)| op);
+        if let Some(pc) = self.plans {
+            pc.bound
+                .lock()
+                .expect("not poisoned")
+                .insert((g, cols.to_vec()), choice);
+        }
+        choice
     }
 
     /// The stored relation backing `g`, if any (base table or MV).
-    fn backing_table(&self, g: GroupId) -> Option<String> {
+    fn backing_table(&self, g: GroupId) -> Option<&'a str> {
         let g = self.memo.find(g);
         if let Some(t) = self.materialized.get(&g) {
-            return Some(t.clone());
+            return Some(t.as_str());
         }
         if self.memo.is_leaf(g) {
             for op in self.memo.group_ops(g) {
                 if let OpKind::Scan { table } = &self.memo.op(op).op {
-                    return Some(table.clone());
+                    return Some(table.as_str());
                 }
             }
         }
@@ -100,19 +195,73 @@ impl<'a> QueryExec<'a> {
         io: &mut IoMeter,
     ) -> StorageResult<Bag> {
         let t = self.catalog.table(table)?;
-        // Exact-column index?
-        for (idx, def) in t.relation.index_defs().into_iter().enumerate() {
-            if def.len() == cols.len() && def.iter().all(|c| cols.contains(c)) {
-                let probe: Vec<Value> = def
+        match t.relation.find_exact_index(cols) {
+            // Order-matching index: probe with the key verbatim.
+            Some((idx, false)) => Ok(t.relation.lookup(idx, key, io)),
+            // Same column set, different order: permute the key once.
+            Some((idx, true)) => {
+                let probe: Vec<Value> = t
+                    .relation
+                    .index_key_cols(idx)
                     .iter()
                     .map(|c| key[cols.iter().position(|x| x == c).expect("subset")].clone())
                     .collect();
-                return Ok(t.relation.lookup(idx, &probe, io));
+                Ok(t.relation.lookup(idx, &probe, io))
+            }
+            // Fallback: scan and filter (charged as a scan).
+            None => Ok(filter_binding(t.relation.scan(io), cols, key)),
+        }
+    }
+
+    /// Batched stored lookups: resolve the index once, probe per key. With
+    /// no usable index, *one* physical pass partitions the relation on
+    /// `cols`, but every key is still charged a full scan — the §3.6 cost
+    /// model prices each posed query independently, and the measured
+    /// counters must keep matching the estimates.
+    fn stored_lookup_all(
+        &self,
+        table: &str,
+        cols: &[usize],
+        keys: &[Vec<Value>],
+        io: &mut IoMeter,
+    ) -> StorageResult<BTreeMap<Vec<Value>, Bag>> {
+        let t = self.catalog.table(table)?;
+        let mut out = BTreeMap::new();
+        match t.relation.find_exact_index(cols) {
+            Some((idx, false)) => {
+                for key in keys {
+                    out.insert(key.clone(), t.relation.lookup(idx, key, io));
+                }
+            }
+            Some((idx, true)) => {
+                // Compute the key permutation once for the whole batch.
+                let remap: Vec<usize> = t
+                    .relation
+                    .index_key_cols(idx)
+                    .iter()
+                    .map(|c| cols.iter().position(|x| x == c).expect("subset"))
+                    .collect();
+                let mut probe = Vec::with_capacity(remap.len());
+                for key in keys {
+                    probe.clear();
+                    probe.extend(remap.iter().map(|&i| key[i].clone()));
+                    out.insert(key.clone(), t.relation.lookup(idx, &probe, io));
+                }
+            }
+            None => {
+                let pages = t.relation.pages();
+                let mut partition = HashIndex::new(cols.to_vec());
+                partition.rebuild(t.relation.data());
+                for key in keys {
+                    io.scan_pages(pages);
+                    out.insert(
+                        key.clone(),
+                        partition.probe(key).cloned().unwrap_or_default(),
+                    );
+                }
             }
         }
-        // Fallback: scan and filter (charged as a scan).
-        let all = t.relation.scan(io).clone();
-        Ok(filter_binding(&all, cols, key))
+        Ok(out)
     }
 
     fn query_via_op(
@@ -241,20 +390,16 @@ impl<'a> QueryExec<'a> {
         Ok(filter_binding(&out, cols, key))
     }
 
-    /// Fully evaluate a group (used when a binding cannot be pushed).
-    pub fn full_eval(
-        &self,
-        g: GroupId,
-        ctx: &mut CostCtx<'_>,
-        io: &mut IoMeter,
-    ) -> StorageResult<Bag> {
-        let g = self.memo.find(g);
-        if let Some(table) = self.backing_table(g) {
-            let t = self.catalog.table(&table)?;
-            return Ok(t.relation.scan(io).clone());
+    /// Cheapest full evaluation among the alternatives; mirrors the cost
+    /// model by summing children's full-eval costs. Cached when a
+    /// [`PlanCache`] is attached.
+    fn best_full_op(&self, g: GroupId, ctx: &mut CostCtx<'_>) -> Option<OpId> {
+        if let Some(pc) = self.plans {
+            let cache = pc.full.lock().expect("not poisoned");
+            if let Some(&choice) = cache.get(&g) {
+                return choice;
+            }
         }
-        // Cheapest full evaluation among the alternatives; mirror the cost
-        // model by summing children's full-eval costs.
         let mut best: Option<(Cost, OpId)> = None;
         for op in self.memo.group_ops(g) {
             let cost: Cost = self
@@ -267,7 +412,26 @@ impl<'a> QueryExec<'a> {
                 best = Some((cost, op));
             }
         }
-        let Some((_, op)) = best else {
+        let choice = best.map(|(_, op)| op);
+        if let Some(pc) = self.plans {
+            pc.full.lock().expect("not poisoned").insert(g, choice);
+        }
+        choice
+    }
+
+    /// Fully evaluate a group (used when a binding cannot be pushed).
+    pub fn full_eval(
+        &self,
+        g: GroupId,
+        ctx: &mut CostCtx<'_>,
+        io: &mut IoMeter,
+    ) -> StorageResult<Bag> {
+        let g = self.memo.find(g);
+        if let Some(table) = self.backing_table(g) {
+            let t = self.catalog.table(table)?;
+            return Ok(t.relation.scan(io).clone());
+        }
+        let Some(op) = self.best_full_op(g, ctx) else {
             return Ok(Bag::new());
         };
         let node = self.memo.op(op).op.clone();

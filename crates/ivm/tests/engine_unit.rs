@@ -97,7 +97,8 @@ fn qexec_leaf_lookup_uses_index() {
             })
         })
         .unwrap();
-    let exec = QueryExec::new(&memo, &cat, Default::default());
+    let mats = Default::default();
+    let exec = QueryExec::new(&memo, &cat, &mats);
     let model = PageIoCostModel::default();
     let mut ctx = CostCtx::new(&memo, &cat, &model);
     let mut io = IoMeter::new();
@@ -117,7 +118,8 @@ fn qexec_pushes_binding_through_aggregate() {
         let op = memo.group_ops(root)[0];
         memo.op_children(op)[0]
     };
-    let exec = QueryExec::new(&memo, &cat, Default::default());
+    let mats = Default::default();
+    let exec = QueryExec::new(&memo, &cat, &mats);
     let model = PageIoCostModel::default();
     let mut ctx = CostCtx::new(&memo, &cat, &model);
     let mut io = IoMeter::new();
@@ -134,7 +136,8 @@ fn qexec_pushes_binding_through_aggregate() {
 fn qexec_full_eval_matches_executor() {
     let cat = catalog();
     let (memo, root) = sum_view(&cat);
-    let exec = QueryExec::new(&memo, &cat, Default::default());
+    let mats = Default::default();
+    let exec = QueryExec::new(&memo, &cat, &mats);
     let model = PageIoCostModel::default();
     let mut ctx = CostCtx::new(&memo, &cat, &model);
     let mut io = IoMeter::new();

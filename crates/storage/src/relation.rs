@@ -107,6 +107,39 @@ impl Relation {
         self.indexes.iter().position(|i| i.key_cols() == key_cols)
     }
 
+    /// The column positions of index `index_id`.
+    pub fn index_key_cols(&self, index_id: usize) -> &[usize] {
+        self.indexes[index_id].key_cols()
+    }
+
+    /// Best index for an exact-match probe on `cols`: an index whose column
+    /// *order* equals `cols` wins (the probe key can be used verbatim);
+    /// failing that, any index on the same column *set* is usable but the
+    /// caller must permute the key into the index's order. Returns
+    /// `(index_id, needs_permutation)`.
+    pub fn find_exact_index(&self, cols: &[usize]) -> Option<(usize, bool)> {
+        let mut fallback = None;
+        for (id, idx) in self.indexes.iter().enumerate() {
+            let def = idx.key_cols();
+            if def == cols {
+                return Some((id, false));
+            }
+            if fallback.is_none() && def.len() == cols.len() && def.iter().all(|c| cols.contains(c))
+            {
+                fallback = Some((id, true));
+            }
+        }
+        fallback
+    }
+
+    /// Uncharged index probe: the bucket of tuples matching `key`, if any.
+    /// For self-maintenance reads whose I/O is accounted elsewhere (the
+    /// §3.6 "reading, modifying and writing 1 tuple" arithmetic charges the
+    /// read when the update is applied) — not for costed query paths.
+    pub fn peek(&self, index_id: usize, key: &[Value]) -> Option<&Bag> {
+        self.indexes[index_id].probe(key)
+    }
+
     /// Indexed lookup: charges 1 index page + one data page per returned
     /// tuple, and returns the matching bag (cloned; results are small).
     pub fn lookup(&self, index_id: usize, key: &[Value], io: &mut IoMeter) -> Bag {
@@ -337,6 +370,35 @@ mod tests {
         let mut io = IoMeter::new();
         assert_eq!(r.lookup(0, &[Value::str("Ops")], &mut io).len(), 2);
         assert_eq!(r.lookup(0, &[Value::str("Sales")], &mut io).len(), 0);
+    }
+
+    #[test]
+    fn exact_index_prefers_matching_column_order() {
+        let mut r = emp();
+        // Two indexes on the same column set, opposite orders.
+        let rev = r.create_index(vec![1, 0]).unwrap();
+        let fwd = r.create_index(vec![0, 1]).unwrap();
+        // A probe on [0, 1] must pick the order-matching index (no remap).
+        assert_eq!(r.find_exact_index(&[0, 1]), Some((fwd, false)));
+        assert_eq!(r.find_exact_index(&[1, 0]), Some((rev, false)));
+        // With only the reversed index present, the set-match fallback
+        // fires and reports that the probe key needs permuting.
+        let mut r2 = emp();
+        let only = r2.create_index(vec![1, 0]).unwrap();
+        assert_eq!(r2.find_exact_index(&[0, 1]), Some((only, true)));
+        // No index on the set at all.
+        assert_eq!(r.find_exact_index(&[2]), None);
+    }
+
+    #[test]
+    fn peek_is_uncharged_and_matches_lookup() {
+        let r = emp();
+        let mut io = IoMeter::new();
+        let via_lookup = r.lookup(0, &[Value::str("Sales")], &mut io);
+        let via_peek = r.peek(0, &[Value::str("Sales")]).cloned().unwrap();
+        assert_eq!(via_lookup, via_peek);
+        assert_eq!(io.total(), 3, "lookup charged; peek added nothing");
+        assert!(r.peek(0, &[Value::str("HR")]).is_none());
     }
 
     #[test]
