@@ -1,14 +1,17 @@
 //! E-IVM driver: sustained-throughput benchmark for the delta-propagation
-//! data plane. Streams a mixed insert/delete/modify workload through two
-//! identical databases — one in `PerKey` propagation mode, one in the
-//! default `Batched` mode — asserting after every transaction that the
-//! two produce bit-identical `UpdateReport` I/O counters, and at the end
-//! that every materialized table (roots and auxiliaries) holds identical
-//! contents, verified against full recomputation.
+//! data plane. Streams a mixed insert/delete/modify workload through three
+//! identical databases — `PerKey` propagation, the default `Batched` mode,
+//! and `Batched` under the parallel pipeline (`ExecutionMode::Parallel`) —
+//! asserting after every transaction that all three produce bit-identical
+//! `UpdateReport` counters, and at the end that every materialized table
+//! (roots and auxiliaries) holds identical contents, verified against full
+//! recomputation.
 //!
-//! Batching is a wall-clock optimisation only: it must never change the
-//! deltas or the charged I/O (see DESIGN.md §10). This binary is the
-//! executable form of that invariant, plus the throughput numbers.
+//! Batching and the pipeline are wall-clock optimisations only: they must
+//! never change the deltas or the charged I/O (DESIGN.md §10–§11). This
+//! binary is the executable form of that invariant, plus the throughput
+//! numbers. The wide scenario additionally sweeps pinned pool widths
+//! (1/2/4/8 threads) for the E-PIPE thread-scaling table.
 //!
 //! ```text
 //! cargo run --release -p spacetime-bench --bin bench_ivm            # full
@@ -18,19 +21,26 @@
 //! Writes `BENCH_ivm.json` in the current directory.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use spacetime_bench::scenarios::build_wide_pipeline_db;
 use spacetime_bench::workload::{load_paper_data, mixed_workload, paper_schema_db};
 use spacetime_cost::TransactionType;
-use spacetime_ivm::{verify_all_views, Database, PropagationMode, ViewSelection};
+use spacetime_ivm::{
+    verify_all_views, Database, ExecutionMode, PipelinePool, PropagationMode, ViewSelection,
+};
 
 const SEED: u64 = 9406; // SIGMOD '96
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 struct Scenario {
     name: &'static str,
     departments: usize,
     emps_per_dept: usize,
     transactions: usize,
+    /// Use the wide E-PIPE multi-view setup and sweep pool widths.
+    wide: bool,
 }
 
 struct ModeRun {
@@ -45,15 +55,23 @@ impl ModeRun {
     }
 }
 
+struct SweepPoint {
+    threads: usize,
+    wall: Duration,
+}
+
 struct Measured {
     scenario: Scenario,
     per_key: ModeRun,
     batched: ModeRun,
+    parallel: ModeRun,
     reports_identical: bool,
     views_identical: bool,
     verified: bool,
     view_count: usize,
     materialized_nodes: usize,
+    /// Pinned-pool txn throughput per thread count (wide scenario only).
+    thread_scaling: Vec<SweepPoint>,
 }
 
 /// The view definitions under maintenance: a join + aggregate + HAVING
@@ -73,6 +91,11 @@ const VIEWS: [&str; 4] = [
 ];
 
 fn build_db(s: &Scenario, mode: PropagationMode) -> Database {
+    if s.wide {
+        let mut db = build_wide_pipeline_db(s.departments, s.emps_per_dept);
+        db.set_propagation_mode(mode);
+        return db;
+    }
     let mut db = paper_schema_db();
     db.set_view_selection(ViewSelection::Exhaustive);
     db.set_propagation_mode(mode);
@@ -101,24 +124,26 @@ fn materialized_names(db: &Database) -> Vec<String> {
 
 fn run_scenario(s: Scenario) -> Measured {
     eprintln!(
-        "scenario {}: {} depts x {} emps, {} transactions",
-        s.name, s.departments, s.emps_per_dept, s.transactions
+        "scenario {}: {} depts x {} emps, {} transactions{}",
+        s.name,
+        s.departments,
+        s.emps_per_dept,
+        s.transactions,
+        if s.wide { " (wide)" } else { "" }
     );
     let workload = mixed_workload(s.departments, s.emps_per_dept, s.transactions, SEED);
     let mut db_pk = build_db(&s, PropagationMode::PerKey);
     let mut db_b = build_db(&s, PropagationMode::Batched);
+    let mut db_par = build_db(&s, PropagationMode::Batched);
+    db_par.set_execution_mode(ExecutionMode::Parallel);
 
     let mut reports_identical = true;
-    let mut pk = ModeRun {
+    let zero = || ModeRun {
         wall: Duration::ZERO,
         io_total: 0,
         paper_cost: 0,
     };
-    let mut ba = ModeRun {
-        wall: Duration::ZERO,
-        io_total: 0,
-        paper_cost: 0,
-    };
+    let (mut pk, mut ba, mut par) = (zero(), zero(), zero());
     for (table, delta) in &workload {
         let t0 = Instant::now();
         let r_pk = db_pk.apply_delta(table, delta.clone()).expect("per-key");
@@ -126,52 +151,93 @@ fn run_scenario(s: Scenario) -> Measured {
         let t0 = Instant::now();
         let r_b = db_b.apply_delta(table, delta.clone()).expect("batched");
         ba.wall += t0.elapsed();
-        // The invariant: batching never changes the charged I/O.
+        let t0 = Instant::now();
+        let r_par = db_par.apply_delta(table, delta.clone()).expect("parallel");
+        par.wall += t0.elapsed();
+        // The invariant: neither batching nor the pipeline may change the
+        // charged I/O or the posed-query count.
         assert_eq!(
             r_pk, r_b,
             "per-update I/O counters diverged on {table} delta {delta:?}"
         );
-        reports_identical &= r_pk == r_b;
+        assert_eq!(
+            r_b, r_par,
+            "parallel pipeline diverged on {table} delta {delta:?}"
+        );
+        reports_identical &= r_pk == r_b && r_b == r_par;
         pk.io_total += r_pk.total();
         pk.paper_cost += r_pk.paper_cost();
         ba.io_total += r_b.total();
         ba.paper_cost += r_b.paper_cost();
+        par.io_total += r_par.total();
+        par.paper_cost += r_par.paper_cost();
     }
 
     // Final state: every materialized table bit-identical across modes.
     let names = materialized_names(&db_pk);
     assert_eq!(names, materialized_names(&db_b));
+    assert_eq!(names, materialized_names(&db_par));
     let mut views_identical = true;
     for name in &names {
         let a = &db_pk.catalog.table(name).expect("per-key table").relation;
         let b = &db_b.catalog.table(name).expect("batched table").relation;
-        let same = a.data() == b.data();
+        let c = &db_par.catalog.table(name).expect("parallel table").relation;
+        let same = a.data() == b.data() && b.data() == c.data();
         assert!(same, "materialized table {name} diverged between modes");
         views_identical &= same;
     }
     let verified = verify_all_views(&db_b).expect("recompute").is_empty()
-        && verify_all_views(&db_pk).expect("recompute").is_empty();
+        && verify_all_views(&db_pk).expect("recompute").is_empty()
+        && verify_all_views(&db_par).expect("recompute").is_empty();
     assert!(verified, "a view diverged from recomputation");
 
+    // Pinned-pool sweep (wide scenario): fresh database per width, same
+    // workload, explicit pool so `RAYON_NUM_THREADS`/core count don't leak
+    // into the table.
+    let mut thread_scaling = Vec::new();
+    if s.wide {
+        for threads in SWEEP_THREADS {
+            let mut db = build_db(&s, PropagationMode::Batched);
+            db.set_execution_mode(ExecutionMode::Parallel);
+            db.set_pipeline_pool(Arc::new(PipelinePool::new(threads)));
+            let t0 = Instant::now();
+            for (table, delta) in &workload {
+                db.apply_delta(table, delta.clone()).expect("sweep");
+            }
+            let wall = t0.elapsed();
+            eprintln!(
+                "  sweep {threads} thread(s): {:>8.3}s ({:>8.1} txn/s)",
+                wall.as_secs_f64(),
+                s.transactions as f64 / wall.as_secs_f64()
+            );
+            thread_scaling.push(SweepPoint { threads, wall });
+        }
+    }
+
+    let view_count: usize = db_b.engines().iter().map(|e| e.roots.len()).sum();
     let measured = Measured {
         per_key: pk,
         batched: ba,
+        parallel: par,
         reports_identical,
         views_identical,
         verified,
-        view_count: VIEWS.len(),
+        view_count,
         materialized_nodes: names.len(),
         scenario: s,
+        thread_scaling,
     };
     eprintln!(
-        "  per_key {:>8.3}s ({:>8.1} txn/s)   batched {:>8.3}s ({:>8.1} txn/s)   speedup {:.2}x   io {} == {}",
+        "  per_key {:>8.3}s ({:>8.1} txn/s)   batched {:>8.3}s ({:>8.1} txn/s)   parallel {:>8.3}s ({:>8.1} txn/s)   io {} == {} == {}",
         measured.per_key.wall.as_secs_f64(),
         measured.per_key.txns_per_sec(measured.scenario.transactions),
         measured.batched.wall.as_secs_f64(),
         measured.batched.txns_per_sec(measured.scenario.transactions),
-        measured.per_key.wall.as_secs_f64() / measured.batched.wall.as_secs_f64(),
+        measured.parallel.wall.as_secs_f64(),
+        measured.parallel.txns_per_sec(measured.scenario.transactions),
         measured.per_key.io_total,
         measured.batched.io_total,
+        measured.parallel.io_total,
     );
     measured
 }
@@ -185,12 +251,21 @@ fn main() {
                 departments: 20,
                 emps_per_dept: 5,
                 transactions: 40,
+                wide: false,
             },
             Scenario {
                 name: "scaling",
                 departments: 100,
                 emps_per_dept: 10,
                 transactions: 80,
+                wide: false,
+            },
+            Scenario {
+                name: "wide",
+                departments: 40,
+                emps_per_dept: 6,
+                transactions: 50,
+                wide: true,
             },
         ]
     } else {
@@ -200,23 +275,36 @@ fn main() {
                 departments: 1000,
                 emps_per_dept: 10,
                 transactions: 600,
+                wide: false,
             },
             Scenario {
                 name: "scaling",
                 departments: 4000,
                 emps_per_dept: 10,
                 transactions: 1000,
+                wide: false,
+            },
+            Scenario {
+                name: "wide",
+                departments: 1000,
+                emps_per_dept: 10,
+                transactions: 400,
+                wide: true,
             },
         ]
     };
 
     let measured: Vec<Measured> = scenarios.into_iter().map(run_scenario).collect();
 
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"ivm_data_plane\",\n");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     json.push_str("  \"scenarios\": [\n");
     for (i, m) in measured.iter().enumerate() {
         let n = m.scenario.transactions;
@@ -227,7 +315,11 @@ fn main() {
         let _ = writeln!(json, "      \"transactions\": {n},");
         let _ = writeln!(json, "      \"views\": {},", m.view_count);
         let _ = writeln!(json, "      \"materialized_nodes\": {},", m.materialized_nodes);
-        for (label, run) in [("per_key", &m.per_key), ("batched", &m.batched)] {
+        for (label, run) in [
+            ("per_key", &m.per_key),
+            ("batched", &m.batched),
+            ("parallel", &m.parallel),
+        ] {
             let _ = writeln!(json, "      \"{label}\": {{");
             let _ = writeln!(json, "        \"wall_s\": {:.6},", run.wall.as_secs_f64());
             let _ = writeln!(json, "        \"txns_per_sec\": {:.1},", run.txns_per_sec(n));
@@ -240,6 +332,30 @@ fn main() {
             "      \"speedup\": {:.3},",
             m.per_key.wall.as_secs_f64() / m.batched.wall.as_secs_f64()
         );
+        let _ = writeln!(
+            json,
+            "      \"par_speedup\": {:.3},",
+            m.batched.wall.as_secs_f64() / m.parallel.wall.as_secs_f64()
+        );
+        if !m.thread_scaling.is_empty() {
+            json.push_str("      \"thread_scaling\": [\n");
+            for (j, p) in m.thread_scaling.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "        {{ \"threads\": {}, \"wall_s\": {:.6}, \"txns_per_sec\": {:.1}, \"speedup_vs_seq_batched\": {:.3} }}",
+                    p.threads,
+                    p.wall.as_secs_f64(),
+                    n as f64 / p.wall.as_secs_f64(),
+                    m.batched.wall.as_secs_f64() / p.wall.as_secs_f64()
+                );
+                json.push_str(if j + 1 == m.thread_scaling.len() {
+                    "\n"
+                } else {
+                    ",\n"
+                });
+            }
+            json.push_str("      ],\n");
+        }
         let _ = writeln!(json, "      \"io_identical\": {},", m.reports_identical);
         let _ = writeln!(json, "      \"views_identical\": {},", m.views_identical);
         let _ = writeln!(json, "      \"verified_against_recompute\": {}", m.verified);

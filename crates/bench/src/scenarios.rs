@@ -2,10 +2,11 @@
 
 use spacetime_algebra::{AggExpr, AggFunc, BinOp, CmpOp, ExprNode, ExprTree, OpKind, ScalarExpr};
 use spacetime_cost::TransactionType;
+use spacetime_ivm::{Database, PropagationMode};
 use spacetime_memo::{explore, GroupId, Memo};
 use spacetime_storage::{Catalog, DataType, Schema, TableStats};
 
-use crate::workload::paper_stats_catalog;
+use crate::workload::{load_paper_data, paper_schema_db, paper_stats_catalog};
 
 /// A prepared optimization scenario.
 pub struct PaperScenario {
@@ -458,6 +459,70 @@ pub fn stacked_view(levels: usize) -> PaperScenario {
     }
 }
 
+/// E-PIPE: the wide runtime scenario's view definitions — eight SQL views
+/// over the *overlapping* Emp/Dept base tables, so a single base delta
+/// fans out across many independent engines (the parallel pipeline's
+/// engine-level axis). `HighEarners` and `HighEarnerCount` share the
+/// access-free σ(Salary>150)(Emp) prefix, exercising the cross-engine
+/// shared-delta cache.
+pub const WIDE_PIPELINE_VIEWS: &[&str] = &[
+    "CREATE MATERIALIZED VIEW ProblemDept (DName) AS \
+     SELECT Dept.DName FROM Emp, Dept WHERE Dept.DName = Emp.DName \
+     GROUP BY Dept.DName, Budget HAVING SUM(Salary) > Budget",
+    "CREATE MATERIALIZED VIEW DeptProfile AS \
+     SELECT DName, COUNT(*) AS Heads, MAX(Salary) AS TopSal \
+     FROM Emp GROUP BY DName",
+    "CREATE MATERIALIZED VIEW WellPaid AS \
+     SELECT EName, Emp.DName, MName FROM Emp, Dept \
+     WHERE Emp.DName = Dept.DName AND Salary > 150",
+    "CREATE MATERIALIZED VIEW ActiveDepts AS SELECT DISTINCT DName FROM Emp",
+    "CREATE MATERIALIZED VIEW PayrollByDept AS \
+     SELECT DName, SUM(Salary) AS Payroll FROM Emp GROUP BY DName",
+    "CREATE MATERIALIZED VIEW HighEarners AS \
+     SELECT EName, DName FROM Emp WHERE Salary > 150",
+    "CREATE MATERIALIZED VIEW HighEarnerCount AS \
+     SELECT DName, COUNT(*) AS N FROM Emp WHERE Salary > 150 GROUP BY DName",
+    "CREATE MATERIALIZED VIEW LowPaid AS \
+     SELECT EName, DName FROM Emp WHERE Salary < 80",
+];
+
+/// Build the E-PIPE database: loaded paper data, batched propagation, the
+/// eight [`WIDE_PIPELINE_VIEWS`], and a two-rooted view group (Payroll /
+/// BigPayroll over a shared per-department salary sum) — ten maintained
+/// views total, every one dependent on `Emp`. Execution mode is left at
+/// its default; callers opt into the pipeline.
+pub fn build_wide_pipeline_db(departments: usize, emps_per_dept: usize) -> Database {
+    let mut db = paper_schema_db();
+    db.set_propagation_mode(PropagationMode::Batched);
+    load_paper_data(&mut db, departments, emps_per_dept);
+    for sql in WIDE_PIPELINE_VIEWS {
+        db.execute_sql(sql).expect("static view DDL");
+    }
+    let emp = ExprNode::scan(&db.catalog, "Emp").expect("Emp");
+    let agg = ExprNode::aggregate(
+        emp,
+        vec![1],
+        vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(2), "SalSum")],
+    )
+    .expect("valid aggregate");
+    let payroll = ExprNode::select(
+        agg.clone(),
+        ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(1), ScalarExpr::lit(0)),
+    )
+    .expect("valid select");
+    let big_payroll = ExprNode::select(
+        agg,
+        ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(1), ScalarExpr::lit(500)),
+    )
+    .expect("valid select");
+    db.create_view_group(vec![
+        ("Payroll".to_string(), payroll),
+        ("BigPayroll".to_string(), big_payroll),
+    ])
+    .expect("view group");
+    db
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +588,20 @@ mod tests {
         assert!(s.memo.group_count() >= 6);
         let arts = spacetime_memo::articulation_groups(&s.memo, s.root);
         assert!(!arts.is_empty(), "stacked aggregates must shield");
+    }
+
+    #[test]
+    fn wide_pipeline_db_builds_and_maintains() {
+        use spacetime_ivm::verify_all_views;
+        let mut db = build_wide_pipeline_db(8, 4);
+        // ≥ 8 views over overlapping base tables, all dependent on Emp.
+        let view_count: usize = db.engines().iter().map(|e| e.roots.len()).sum();
+        assert!(view_count >= 10, "wide scenario has {view_count} views");
+        assert!(db.engines().iter().all(|e| e.depends_on("Emp")));
+        for (table, delta) in crate::workload::mixed_workload(8, 4, 20, 3) {
+            db.apply_delta(&table, delta).unwrap();
+        }
+        assert!(verify_all_views(&db).unwrap().is_empty());
     }
 
     #[test]

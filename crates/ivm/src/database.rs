@@ -8,6 +8,9 @@
 //! *before* anything is applied — SQL-92 semantics), and committed with
 //! full I/O accounting.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use spacetime_algebra::{eval_uncharged, ExprNode, ExprTree, ScalarExpr};
 use spacetime_cost::{PageIoCostModel, TransactionType};
 use spacetime_delta::Delta;
@@ -15,10 +18,11 @@ use spacetime_memo::{explore, Memo};
 use spacetime_optimizer::heuristics::rule_of_thumb_optimize;
 use spacetime_optimizer::{greedy_add, optimal_view_set, shielding_optimize, EvalConfig, ViewSet};
 use spacetime_sql::{lower::lower_literal_row, lower_select, parse_statements, Statement};
-use spacetime_storage::{Bag, Catalog, Column, IoMeter, Schema, Tuple, Value};
+use spacetime_storage::{Bag, Catalog, Column, IoMeter, Schema, Table, Tuple, Value};
 
 use crate::constraints::{Assertion, Violation};
-use crate::engine::{IvmEngine, PropagationMode, UpdateReport};
+use crate::engine::{IvmEngine, PlanOptions, PlannedUpdate, PropagationMode, UpdateReport};
+use crate::pipeline::{ExecutionMode, PipelinePool, SharedDeltaCache};
 use crate::{IvmError, IvmResult};
 
 /// How auxiliary views are chosen when a view/assertion is created.
@@ -58,11 +62,13 @@ pub enum SqlOutcome {
 pub struct Database {
     /// Storage: base tables and materialized views.
     pub catalog: Catalog,
-    engines: Vec<IvmEngine>,
+    engines: Vec<Arc<IvmEngine>>,
     assertions: Vec<Assertion>,
     workload: Vec<TransactionType>,
     selection: ViewSelection,
     mode: PropagationMode,
+    exec: ExecutionMode,
+    pool: Option<Arc<PipelinePool>>,
     /// Accumulated maintenance reports (for benchmarking).
     pub last_report: Option<UpdateReport>,
 }
@@ -83,6 +89,8 @@ impl Database {
             workload: Vec::new(),
             selection: ViewSelection::default(),
             mode: PropagationMode::default(),
+            exec: ExecutionMode::default(),
+            pool: None,
             last_report: None,
         }
     }
@@ -98,8 +106,30 @@ impl Database {
     pub fn set_propagation_mode(&mut self, mode: PropagationMode) {
         self.mode = mode;
         for e in &mut self.engines {
-            e.set_propagation_mode(mode);
+            Arc::make_mut(e).set_propagation_mode(mode);
         }
+    }
+
+    /// Set how transactions execute: [`ExecutionMode::Sequential`] (the
+    /// default) or [`ExecutionMode::Parallel`] (the pipeline — identical
+    /// deltas, reports, and view contents, less wall clock).
+    pub fn set_execution_mode(&mut self, exec: ExecutionMode) {
+        self.exec = exec;
+    }
+
+    /// The active execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.exec
+    }
+
+    /// Use a specific worker pool (e.g. a pinned-width pool for scaling
+    /// measurements) instead of the process-wide default.
+    pub fn set_pipeline_pool(&mut self, pool: Arc<PipelinePool>) {
+        self.pool = Some(pool);
+    }
+
+    fn pool(&self) -> Arc<PipelinePool> {
+        self.pool.clone().unwrap_or_else(PipelinePool::global)
     }
 
     /// Declare the workload (transaction types with weights) the optimizer
@@ -109,8 +139,9 @@ impl Database {
         self.workload = txns;
     }
 
-    /// The engines (for inspection/benchmarks).
-    pub fn engines(&self) -> &[IvmEngine] {
+    /// The engines (for inspection/benchmarks). Shared handles: the
+    /// parallel pipeline clones them into worker tasks.
+    pub fn engines(&self) -> &[Arc<IvmEngine>] {
         &self.engines
     }
 
@@ -294,7 +325,7 @@ impl Database {
         };
         let mut engine = IvmEngine::build(name, memo, root, view_set, &mut self.catalog)?;
         engine.set_propagation_mode(self.mode);
-        self.engines.push(engine);
+        self.engines.push(Arc::new(engine));
         Ok(self.engines.last().expect("just pushed"))
     }
 
@@ -358,7 +389,7 @@ impl Database {
             &mut self.catalog,
         )?;
         engine.set_propagation_mode(self.mode);
-        self.engines.push(engine);
+        self.engines.push(Arc::new(engine));
         Ok(self.engines.last().expect("just pushed"))
     }
 
@@ -391,11 +422,18 @@ impl Database {
             return Ok(UpdateReport::default());
         }
         // Phase 1: plan against pre-update state.
-        let mut planned = Vec::with_capacity(self.engines.len());
-        for e in &self.engines {
-            planned.push(e.plan_update(&self.catalog, table, &delta)?);
-        }
-        // Assertion gate.
+        let planned = match self.exec {
+            ExecutionMode::Sequential => {
+                let mut planned = Vec::with_capacity(self.engines.len());
+                for e in &self.engines {
+                    planned.push(e.plan_update(&self.catalog, table, &delta)?);
+                }
+                planned
+            }
+            ExecutionMode::Parallel => self.plan_parallel(table, &delta)?,
+        };
+        // Assertion gate (always against pre-update state, whichever mode
+        // planned — a violating transaction is rejected before any write).
         for a in &self.assertions {
             if let Some((engine, plan)) = self
                 .engines
@@ -408,11 +446,23 @@ impl Database {
                 }
             }
         }
-        // Phase 2: commit everywhere.
+        // Phase 2: commit everywhere, merging each engine's planning
+        // report with its apply report in engine order (deterministic
+        // regardless of which threads did the work).
+        let committing = planned
+            .iter()
+            .filter(|p| !p.view_deltas.is_empty())
+            .count();
+        let pool = self.pool();
         let mut combined = UpdateReport::default();
-        for (e, plan) in self.engines.iter().zip(&planned) {
-            let r = e.commit_update(&mut self.catalog, plan)?;
-            combined.merge(&r);
+        if self.exec == ExecutionMode::Parallel && pool.threads() > 1 && committing >= 2 {
+            self.commit_parallel(&pool, &planned, &mut combined)?;
+        } else {
+            for (e, plan) in self.engines.iter().zip(&planned) {
+                combined.merge(&plan.report);
+                let r = e.commit_update(&mut self.catalog, plan)?;
+                combined.merge(&r);
+            }
         }
         // Base relation last.
         let mut base_io = IoMeter::new();
@@ -421,6 +471,125 @@ impl Database {
         combined.base_io = base_io;
         self.last_report = Some(combined.clone());
         Ok(combined)
+    }
+
+    /// Plan every engine concurrently against an immutable catalog
+    /// snapshot. Dependent engines run on the pool (with level-parallel
+    /// tracks and a per-transaction shared-delta cache); independent
+    /// engines plan inline, since their plans are trivially empty.
+    fn plan_parallel(&self, table: &str, delta: &Delta) -> IvmResult<Vec<PlannedUpdate>> {
+        let pool = self.pool();
+        let level_parallel = pool.threads() > 1;
+        let shared = Arc::new(SharedDeltaCache::new());
+        let snap = Arc::new(self.catalog.snapshot());
+        let delta = Arc::new(delta.clone());
+        let mut slots: Vec<Option<PlannedUpdate>> = (0..self.engines.len()).map(|_| None).collect();
+        type PlanTask = Box<dyn FnOnce() -> (usize, IvmResult<PlannedUpdate>) + Send>;
+        let mut tasks: Vec<PlanTask> = Vec::new();
+        for (i, e) in self.engines.iter().enumerate() {
+            if e.depends_on(table) {
+                let e = Arc::clone(e);
+                let snap = Arc::clone(&snap);
+                let delta = Arc::clone(&delta);
+                let shared = Arc::clone(&shared);
+                let table = table.to_string();
+                tasks.push(Box::new(move || {
+                    let opts = PlanOptions {
+                        level_parallel,
+                        shared: Some(&shared),
+                    };
+                    (i, e.plan_update_with(&snap, &table, &delta, &opts))
+                }));
+            } else {
+                slots[i] = Some(e.plan_update(&self.catalog, table, &delta)?);
+            }
+        }
+        // Results arrive in task order = engine order among dependents, so
+        // on failure the first (lowest-index) engine's error surfaces,
+        // matching the sequential path.
+        for (i, r) in pool.run(tasks) {
+            slots[i] = Some(r?);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every engine planned"))
+            .collect())
+    }
+
+    /// Commit every engine's planned deltas concurrently. Each committing
+    /// engine's materialized tables are detached from the catalog
+    /// ([`Catalog::take_table`] — the sets are disjoint, every engine owns
+    /// its own view/auxiliary tables), applied on the pool, and
+    /// re-attached before any error is surfaced.
+    fn commit_parallel(
+        &mut self,
+        pool: &PipelinePool,
+        planned: &[PlannedUpdate],
+        combined: &mut UpdateReport,
+    ) -> IvmResult<()> {
+        type CommitOut = (usize, BTreeMap<String, Arc<Table>>, IvmResult<UpdateReport>);
+        type CommitTask = Box<dyn FnOnce() -> CommitOut + Send>;
+        let mut tasks: Vec<CommitTask> = Vec::new();
+        for (i, (e, plan)) in self.engines.iter().zip(planned).enumerate() {
+            if plan.view_deltas.is_empty() {
+                continue;
+            }
+            let mut tables: BTreeMap<String, Arc<Table>> = BTreeMap::new();
+            let names: Vec<&String> = plan
+                .view_deltas
+                .iter()
+                .map(|(g, _)| &e.materialized[g])
+                .collect();
+            for name in names {
+                if !tables.contains_key(name) {
+                    match self.catalog.take_table(name) {
+                        Ok(t) => {
+                            tables.insert(name.clone(), t);
+                        }
+                        Err(err) => {
+                            // Put everything back before failing.
+                            for (n, t) in tables {
+                                self.catalog.restore_table(n, t);
+                            }
+                            return Err(err.into());
+                        }
+                    }
+                }
+            }
+            let e = Arc::clone(e);
+            let plan = plan.clone();
+            tasks.push(Box::new(move || {
+                let mut tables = tables;
+                let r = e.commit_detached(&mut tables, &plan);
+                (i, tables, r)
+            }));
+        }
+        let mut commit_reports: BTreeMap<usize, UpdateReport> = BTreeMap::new();
+        let mut first_err: Option<IvmError> = None;
+        for (i, tables, r) in pool.run(tasks) {
+            for (n, t) in tables {
+                self.catalog.restore_table(n, t);
+            }
+            match r {
+                Ok(rep) => {
+                    commit_reports.insert(i, rep);
+                }
+                // Task order = engine order, so the first error seen is the
+                // lowest-index engine's, as in sequential execution.
+                Err(e) if first_err.is_none() => first_err = Some(e),
+                Err(_) => {}
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        for (i, plan) in planned.iter().enumerate() {
+            combined.merge(&plan.report);
+            if let Some(r) = commit_reports.get(&i) {
+                combined.merge(r);
+            }
+        }
+        Ok(())
     }
 
     /// Apply a multi-relation transaction (the §3.2 transaction types may

@@ -21,8 +21,9 @@ use spacetime_delta::{apply_to_relation, Delta, InputAccess};
 use spacetime_memo::{GroupId, Memo, OpId};
 use spacetime_optimizer::tracks::UpdateTrack;
 use spacetime_optimizer::{EvalConfig, ViewSet};
-use spacetime_storage::{Bag, Catalog, IoMeter, StorageResult, Value};
+use spacetime_storage::{Bag, Catalog, IoMeter, StorageResult, Table, Value};
 
+use crate::pipeline::{ChainFingerprint, SharedDeltaCache};
 use crate::qexec::{filter_binding, PlanCache, QueryExec};
 use crate::{IvmError, IvmResult};
 
@@ -47,12 +48,21 @@ pub enum PropagationMode {
 /// stream of transactions does zero per-update setup: per-table topo
 /// orders and leaf groups (computed once at build), and the runtime plan
 /// cache (valid until statistics change, which only `analyze()` does).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct PropagationCtx {
     /// Children-first order of each table's track groups.
     topo: BTreeMap<String, Vec<GroupId>>,
     /// The leaf group scanning each table.
     leaves: BTreeMap<String, GroupId>,
+    /// The same groups sliced into topological levels (per table): every
+    /// group's delta depends only on earlier levels' deltas plus
+    /// pre-update state, so groups *within* a level may be propagated
+    /// concurrently.
+    levels: BTreeMap<String, Vec<Vec<GroupId>>>,
+    /// Access-free chain fingerprints per (table, group): the op chain
+    /// from the base scan through `Select`/`Project` steps only. Keys of
+    /// the per-transaction cross-engine shared-delta cache.
+    chains: BTreeMap<String, BTreeMap<GroupId, ChainFingerprint>>,
     /// Cached runtime plan decisions (used by the batched mode).
     plans: PlanCache,
 }
@@ -68,6 +78,10 @@ pub struct UpdateReport {
     pub root_io: IoMeter,
     /// I/O spent applying the delta to the base relation.
     pub base_io: IoMeter,
+    /// Number of queries posed during propagation (§2.2). Like the I/O
+    /// buckets, this must be independent of the propagation mode and of
+    /// the execution mode — a batched `matching_all` over k keys counts k.
+    pub queries_posed: u64,
 }
 
 impl UpdateReport {
@@ -84,7 +98,11 @@ impl UpdateReport {
         self.paper_cost() + self.root_io.total() + self.base_io.total()
     }
 
-    /// Merge another report into this one.
+    /// Merge another report into this one. Sound only when the two
+    /// reports account *disjoint* work: the planning report of a
+    /// [`PlannedUpdate`] and the apply-phase report of
+    /// [`IvmEngine::commit_update`] each carry their own buckets, so
+    /// merging them counts every page exactly once.
     pub fn merge(&mut self, other: &UpdateReport) {
         for (a, b) in [
             (&mut self.query_io, &other.query_io),
@@ -97,6 +115,7 @@ impl UpdateReport {
             a.data_page_reads += b.data_page_reads;
             a.data_page_writes += b.data_page_writes;
         }
+        self.queries_posed += other.queries_posed;
     }
 }
 
@@ -124,8 +143,23 @@ impl PlannedUpdate {
     }
 }
 
+/// Options for [`IvmEngine::plan_update_with`]. Both knobs are wall-clock
+/// optimizations only: they must not change the planned deltas, the
+/// report, or the posed-query count.
+#[derive(Default)]
+pub struct PlanOptions<'s> {
+    /// Propagate same-level track groups on scoped threads.
+    pub level_parallel: bool,
+    /// Per-transaction cross-engine memo of access-free prefix deltas.
+    pub shared: Option<&'s SharedDeltaCache>,
+}
+
 /// One maintained view (plus its chosen auxiliary materializations).
-#[derive(Debug)]
+///
+/// `Clone` exists so the database can hold engines behind `Arc` and
+/// copy-on-write them for configuration changes; a clone snapshots the
+/// plan cache's current decisions.
+#[derive(Debug, Clone)]
 pub struct IvmEngine {
     /// The view's name (backing table of the root).
     pub name: String,
@@ -273,15 +307,19 @@ impl IvmEngine {
         }
 
         // Per-table propagation state, computed once instead of on every
-        // update: topo order and leaf group of each track.
+        // update: topo order, leaf group, topological levels (for the
+        // parallel pipeline), and access-free chain fingerprints (for the
+        // cross-engine shared-delta cache).
         let mut prop_ctx = PropagationCtx::default();
         for (table, track) in &tracks {
-            prop_ctx
-                .topo
-                .insert(table.clone(), topo_order(&memo, track));
+            let order = topo_order(&memo, track);
             if let Some(leaf) = roots.iter().find_map(|&r| leaf_group(&memo, r, table)) {
+                let (levels, chains) = level_plan(&memo, track, &order, leaf, table);
                 prop_ctx.leaves.insert(table.clone(), leaf);
+                prop_ctx.levels.insert(table.clone(), levels);
+                prop_ctx.chains.insert(table.clone(), chains);
             }
+            prop_ctx.topo.insert(table.clone(), order);
         }
 
         Ok(IvmEngine {
@@ -325,6 +363,20 @@ impl IvmEngine {
         table: &str,
         base_delta: &Delta,
     ) -> IvmResult<PlannedUpdate> {
+        self.plan_update_with(catalog, table, base_delta, &PlanOptions::default())
+    }
+
+    /// [`IvmEngine::plan_update`] with pipeline options: level-parallel
+    /// track propagation and/or a cross-engine shared-delta cache. Both
+    /// options are wall-clock only — the returned plan (deltas, report,
+    /// posed-query count) is bit-identical to the default path.
+    pub fn plan_update_with(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        base_delta: &Delta,
+        opts: &PlanOptions<'_>,
+    ) -> IvmResult<PlannedUpdate> {
         let mut report = UpdateReport::default();
         let Some(track) = self.tracks.get(table) else {
             return Ok(PlannedUpdate {
@@ -339,7 +391,6 @@ impl IvmEngine {
         if batched {
             exec = exec.with_plans(&self.prop_ctx.plans);
         }
-        let mut ctx = CostCtx::new(&self.memo, catalog, &self.model);
 
         // Topological order of the track's groups (children first) and the
         // table's leaf group, both computed once at build time.
@@ -351,56 +402,121 @@ impl IvmEngine {
         let leaf = self.prop_ctx.leaves.get(table).copied().ok_or_else(|| {
             IvmError::Unsupported(format!("table `{table}` not under view `{}`", self.name))
         })?;
+        let chains = opts
+            .shared
+            .is_some()
+            .then(|| self.prop_ctx.chains.get(table))
+            .flatten();
         let mut deltas: BTreeMap<GroupId, Delta> = BTreeMap::new();
         deltas.insert(leaf, base_delta.clone());
 
-        for &g in order {
-            let Some(&op) = track.choices.get(&g) else {
-                continue;
-            };
-            let children = self.memo.op_children(op);
-            // Exactly one child may carry a delta (sequential propagation;
-            // a self-join of the updated table would put deltas on both).
-            let carriers: Vec<usize> = children
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| deltas.get(c).is_some_and(|d| !d.is_empty()))
-                .map(|(i, _)| i)
-                .collect();
-            if carriers.len() > 1 {
-                return Err(IvmError::Unsupported(
-                    "propagation through a self-join of the updated relation".into(),
-                ));
+        let levels = self.prop_ctx.levels.get(table);
+        if let (true, Some(levels)) = (opts.level_parallel, levels) {
+            // Level-parallel path: groups within a level only read earlier
+            // levels' deltas (plus pre-update catalog state), so they can
+            // propagate concurrently into per-group delta slots. Results
+            // merge in level order, per-thread I/O meters sum into the
+            // report — u64 addition is order-independent, so the counters
+            // match the sequential path exactly.
+            for level in levels {
+                let work: Vec<(GroupId, OpId)> = level
+                    .iter()
+                    .filter_map(|&g| track.choices.get(&g).map(|&op| (g, op)))
+                    .collect();
+                if work.len() <= 1 {
+                    let mut ctx = CostCtx::new(&self.memo, catalog, &self.model);
+                    for &(g, op) in &work {
+                        let mut posed = 0u64;
+                        if let Some(d) = self.propagate_group(
+                            catalog,
+                            table,
+                            g,
+                            op,
+                            &deltas,
+                            &exec,
+                            &mut ctx,
+                            batched,
+                            &mut report.query_io,
+                            &mut posed,
+                            opts.shared,
+                            chains,
+                        )? {
+                            deltas.insert(g, d);
+                        }
+                        report.queries_posed += posed;
+                    }
+                    continue;
+                }
+                let exec_ref = &exec;
+                let deltas_ref = &deltas;
+                type GroupOutcome = (GroupId, Option<Delta>, IoMeter, u64);
+                let results: Vec<IvmResult<GroupOutcome>> =
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = work
+                            .iter()
+                            .map(|&(g, op)| {
+                                s.spawn(move || {
+                                    let mut ctx =
+                                        CostCtx::new(&self.memo, catalog, &self.model);
+                                    let mut io = IoMeter::new();
+                                    let mut posed = 0u64;
+                                    let d = self.propagate_group(
+                                        catalog,
+                                        table,
+                                        g,
+                                        op,
+                                        deltas_ref,
+                                        exec_ref,
+                                        &mut ctx,
+                                        batched,
+                                        &mut io,
+                                        &mut posed,
+                                        opts.shared,
+                                        chains,
+                                    )?;
+                                    Ok((g, d, io, posed))
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("propagation thread must not panic"))
+                            .collect()
+                    });
+                for r in results {
+                    let (g, d, io, posed) = r?;
+                    add_io(&mut report.query_io, &io);
+                    report.queries_posed += posed;
+                    if let Some(d) = d {
+                        deltas.insert(g, d);
+                    }
+                }
             }
-            let Some(&delta_child) = carriers.first() else {
-                continue;
-            };
-            let d_in = deltas[&children[delta_child]].clone();
-            let node = Arc::new(ExprNode {
-                op: self.memo.op(op).op.clone(),
-                children: vec![],
-                schema: self.memo.schema(g).clone(),
-            });
-            let self_mv = self
-                .materialized
-                .get(&g)
-                .map(|t| catalog.table(t))
-                .transpose()?;
-            let complete = *self
-                .complete
-                .get(&(table.to_string(), op))
-                .unwrap_or(&false);
-            let mut access = EngineAccess {
-                exec: &exec,
-                ctx: &mut ctx,
-                children: &children,
-                self_rel: self_mv.map(|t| &t.relation),
-                complete,
-                batched,
-                io: &mut report.query_io,
-            };
-            let d_out = spacetime_delta::propagate(&node, delta_child, &d_in, &mut access)?;
-            deltas.insert(g, d_out);
+        } else {
+            let mut ctx = CostCtx::new(&self.memo, catalog, &self.model);
+            for &g in order {
+                let Some(&op) = track.choices.get(&g) else {
+                    continue;
+                };
+                let mut posed = 0u64;
+                if let Some(d) = self.propagate_group(
+                    catalog,
+                    table,
+                    g,
+                    op,
+                    &deltas,
+                    &exec,
+                    &mut ctx,
+                    batched,
+                    &mut report.query_io,
+                    &mut posed,
+                    opts.shared,
+                    chains,
+                )? {
+                    deltas.insert(g, d);
+                }
+                report.queries_posed += posed;
+            }
         }
 
         // Deltas for materialized nodes, children before parents (same
@@ -420,14 +536,97 @@ impl IvmEngine {
         })
     }
 
+    /// Compute one group's output delta from its children's deltas (and
+    /// the pre-update catalog). Returns `None` when no child carries a
+    /// delta (the group is unaffected this transaction).
+    #[allow(clippy::too_many_arguments)]
+    fn propagate_group(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        g: GroupId,
+        op: OpId,
+        deltas: &BTreeMap<GroupId, Delta>,
+        exec: &QueryExec<'_>,
+        ctx: &mut CostCtx<'_>,
+        batched: bool,
+        io: &mut IoMeter,
+        posed: &mut u64,
+        shared: Option<&SharedDeltaCache>,
+        chains: Option<&BTreeMap<GroupId, ChainFingerprint>>,
+    ) -> IvmResult<Option<Delta>> {
+        let children = self.memo.op_children(op);
+        // Exactly one child may carry a delta (sequential propagation;
+        // a self-join of the updated table would put deltas on both).
+        let carriers: Vec<usize> = children
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| deltas.get(c).is_some_and(|d| !d.is_empty()))
+            .map(|(i, _)| i)
+            .collect();
+        if carriers.len() > 1 {
+            return Err(IvmError::Unsupported(
+                "propagation through a self-join of the updated relation".into(),
+            ));
+        }
+        let Some(&delta_child) = carriers.first() else {
+            return Ok(None);
+        };
+        // Access-free prefix: reusable across engines within the
+        // transaction. Select/Project propagation poses no queries and
+        // charges no I/O in any mode, so a cache hit changes nothing in
+        // the report — it only skips recomputation.
+        let fp = chains.and_then(|m| m.get(&g));
+        if let (Some(cache), Some(fp)) = (shared, fp) {
+            if let Some(d) = cache.get(fp) {
+                return Ok(Some(d));
+            }
+        }
+        let d_in = deltas[&children[delta_child]].clone();
+        let node = Arc::new(ExprNode {
+            op: self.memo.op(op).op.clone(),
+            children: vec![],
+            schema: self.memo.schema(g).clone(),
+        });
+        let self_mv = self
+            .materialized
+            .get(&g)
+            .map(|t| catalog.table(t))
+            .transpose()?;
+        let complete = *self
+            .complete
+            .get(&(table.to_string(), op))
+            .unwrap_or(&false);
+        let mut access = EngineAccess {
+            exec,
+            ctx,
+            children: &children,
+            self_rel: self_mv.map(|t| &t.relation),
+            complete,
+            batched,
+            io,
+            posed,
+        };
+        let d_out = spacetime_delta::propagate(&node, delta_child, &d_in, &mut access)?;
+        if let (Some(cache), Some(fp)) = (shared, fp) {
+            cache.put(fp.clone(), d_out.clone());
+        }
+        Ok(Some(d_out))
+    }
+
     /// Phase 2: apply a planned update's view deltas (the base relation is
     /// the caller's responsibility, since several engines may share it).
+    ///
+    /// Returns *only* the apply-phase I/O (`root_io`/`aux_io`). The
+    /// planning-phase `query_io` stays in `planned.report`; the caller
+    /// merges the two, so a plan's I/O is counted exactly once no matter
+    /// how many engines' reports are combined.
     pub fn commit_update(
         &self,
         catalog: &mut Catalog,
         planned: &PlannedUpdate,
     ) -> IvmResult<UpdateReport> {
-        let mut report = planned.report.clone();
+        let mut report = UpdateReport::default();
         for (g, delta) in &planned.view_deltas {
             let table = &self.materialized[g];
             let io = if self.roots.contains(g) {
@@ -441,7 +640,34 @@ impl IvmEngine {
         Ok(report)
     }
 
+    /// [`IvmEngine::commit_update`] against tables detached from the
+    /// catalog ([`Catalog::take_table`]) — the parallel commit path, where
+    /// each engine's worker owns its (disjoint) materializations for the
+    /// duration of the apply.
+    pub fn commit_detached(
+        &self,
+        tables: &mut BTreeMap<String, Arc<Table>>,
+        planned: &PlannedUpdate,
+    ) -> IvmResult<UpdateReport> {
+        let mut report = UpdateReport::default();
+        for (g, delta) in &planned.view_deltas {
+            let table = &self.materialized[g];
+            let io = if self.roots.contains(g) {
+                &mut report.root_io
+            } else {
+                &mut report.aux_io
+            };
+            let t = tables.get_mut(table).ok_or_else(|| {
+                spacetime_storage::StorageError::UnknownTable(table.clone())
+            })?;
+            let rel = &mut Arc::make_mut(t).relation;
+            apply_to_relation(delta, rel, io)?;
+        }
+        Ok(report)
+    }
+
     /// Convenience: plan + commit in one call (no assertion gating).
+    /// Returns the full report: planning I/O merged with apply I/O.
     pub fn apply_update(
         &self,
         catalog: &mut Catalog,
@@ -449,7 +675,9 @@ impl IvmEngine {
         base_delta: &Delta,
     ) -> IvmResult<UpdateReport> {
         let planned = self.plan_update(catalog, table, base_delta)?;
-        self.commit_update(catalog, &planned)
+        let mut report = planned.report.clone();
+        report.merge(&self.commit_update(catalog, &planned)?);
+        Ok(report)
     }
 
     /// The root view's current contents.
@@ -470,10 +698,12 @@ struct EngineAccess<'e, 'c, 'x> {
     complete: bool,
     batched: bool,
     io: &'x mut IoMeter,
+    posed: &'x mut u64,
 }
 
 impl InputAccess for EngineAccess<'_, '_, '_> {
     fn matching(&mut self, child: usize, cols: &[usize], key: &[Value]) -> StorageResult<Bag> {
+        *self.posed += 1;
         self.exec
             .query(self.children[child], cols, key, self.ctx, self.io)
     }
@@ -485,6 +715,10 @@ impl InputAccess for EngineAccess<'_, '_, '_> {
         keys: &[Vec<Value>],
     ) -> StorageResult<BTreeMap<Vec<Value>, Bag>> {
         if self.batched {
+            // One posed query per binding, same as the per-key path, so the
+            // count is mode-independent (the *plans* differ, not the set of
+            // posed queries — §2.2).
+            *self.posed += keys.len() as u64;
             return self
                 .exec
                 .query_all(self.children[child], cols, keys, self.ctx, self.io);
@@ -585,6 +819,78 @@ fn topo_order(memo: &Memo, track: &UpdateTrack) -> Vec<GroupId> {
         visit(memo, track, g, &mut state, &mut order);
     }
     order
+}
+
+/// Group a track's topo order into *levels*: a group's level is one more
+/// than the deepest delta-carrying child (the leaf is level 0). Groups on
+/// the same level never read each other's deltas, so they can propagate
+/// concurrently. Also fingerprints each group's access-free prefix chain
+/// (`Scan → Select/Project…` from the leaf) for the cross-engine
+/// shared-delta cache; chains stop at the first op that poses queries.
+fn level_plan(
+    memo: &Memo,
+    track: &UpdateTrack,
+    order: &[GroupId],
+    leaf: GroupId,
+    table: &str,
+) -> (Vec<Vec<GroupId>>, BTreeMap<GroupId, ChainFingerprint>) {
+    let mut level_of: BTreeMap<GroupId, usize> = BTreeMap::new();
+    level_of.insert(leaf, 0);
+    let mut chains: BTreeMap<GroupId, ChainFingerprint> = BTreeMap::new();
+    chains.insert(
+        leaf,
+        Arc::new(vec![OpKind::Scan {
+            table: table.to_string(),
+        }]),
+    );
+    let mut levels: Vec<Vec<GroupId>> = Vec::new();
+    for &g in order {
+        if g == leaf {
+            continue;
+        }
+        let Some(&op) = track.choices.get(&g) else {
+            continue;
+        };
+        let children = memo.op_children(op);
+        // Deepest child that can carry a delta this track; groups with no
+        // such child never receive deltas and need no level.
+        let Some(deepest) = children
+            .iter()
+            .filter_map(|c| level_of.get(c))
+            .max()
+            .copied()
+        else {
+            continue;
+        };
+        let lvl = deepest + 1;
+        level_of.insert(g, lvl);
+        while levels.len() < lvl {
+            levels.push(Vec::new());
+        }
+        levels[lvl - 1].push(g);
+        // Extend the access-free chain through unary Select/Project only.
+        let kind = &memo.op(op).op;
+        if matches!(kind, OpKind::Select { .. } | OpKind::Project { .. }) {
+            if let Some(parent_chain) = children.first().and_then(|c| chains.get(c)) {
+                let mut chain = (**parent_chain).clone();
+                chain.push(kind.clone());
+                chains.insert(g, Arc::new(chain));
+            }
+        }
+    }
+    // The leaf's "chain" is the base delta itself — caching it would only
+    // copy the input around.
+    chains.remove(&leaf);
+    (levels, chains)
+}
+
+/// Add `other`'s counters into `io` (u64 sums — order-independent, so
+/// merging per-thread meters reproduces the sequential totals exactly).
+fn add_io(io: &mut IoMeter, other: &IoMeter) {
+    io.index_page_reads += other.index_page_reads;
+    io.index_page_writes += other.index_page_writes;
+    io.data_page_reads += other.data_page_reads;
+    io.data_page_writes += other.data_page_writes;
 }
 
 /// Column sets other nodes may query each group on (used to pre-create

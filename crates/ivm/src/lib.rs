@@ -15,18 +15,25 @@
 //! * [`database`] — [`database::Database`]: the user-facing session tying
 //!   everything together (DDL, DML with automatic view maintenance, SQL
 //!   front end, workload declaration, view-selection strategies).
+//! * [`pipeline`] — the parallel propagation pipeline: a persistent
+//!   worker pool, the [`pipeline::ExecutionMode`] knob, and the
+//!   per-transaction cross-engine shared-delta cache. Parallelism is
+//!   wall-clock only: reports, deltas, and view contents stay
+//!   bit-identical to sequential execution.
 //! * [`verify`] — the recompute-from-scratch oracle used by tests and
 //!   examples to prove maintenance correct.
 
 pub mod constraints;
 pub mod database;
 pub mod engine;
+pub mod pipeline;
 pub mod qexec;
 pub mod verify;
 
 pub use constraints::{Assertion, Violation};
 pub use database::{Database, ViewSelection};
 pub use engine::{IvmEngine, PropagationMode, UpdateReport};
+pub use pipeline::{ExecutionMode, PipelinePool, SharedDeltaCache};
 pub use verify::verify_all_views;
 
 /// Errors surfaced by the runtime: storage/algebra errors plus SQL ones.

@@ -1,0 +1,308 @@
+//! The parallel delta-propagation pipeline: worker pool, execution mode,
+//! and the per-transaction cross-engine shared-delta cache.
+//!
+//! Parallelism here is strictly a wall-clock optimization (DESIGN.md §11).
+//! The pipeline must produce bit-identical deltas, view contents, and
+//! charged I/O versus sequential execution:
+//!
+//! * **Engine level** — each dependent engine plans against an immutable
+//!   [`spacetime_storage::CatalogSnapshot`] with its own `IoMeter`, so
+//!   per-engine reports are exactly what sequential planning would have
+//!   produced; the database merges them in engine order.
+//! * **Track level** — groups at the same topological level of an update
+//!   track are independent (each reads only earlier levels' deltas plus
+//!   pre-update state) and may be propagated concurrently into per-group
+//!   delta slots.
+//! * **Shared deltas** — an access-free propagation prefix (base delta
+//!   through `Select`/`Project` chains) poses no queries and charges no
+//!   I/O in any mode, so its result may be computed once per transaction
+//!   and reused by every engine whose track carries the same chain.
+//!
+//! No external thread-pool crate is used: a small bounded pool over
+//! `std::sync::mpsc` suffices, honoring `RAYON_NUM_THREADS` so CI can pin
+//! the thread count.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use spacetime_algebra::OpKind;
+use spacetime_delta::Delta;
+
+/// How [`crate::Database`] executes delta propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One engine after another on the calling thread (the baseline).
+    #[default]
+    Sequential,
+    /// Dependent engines plan concurrently against a catalog snapshot,
+    /// same-level track groups propagate concurrently, commits of disjoint
+    /// materializations run concurrently, and access-free delta prefixes
+    /// are shared across engines. Produces bit-identical reports, deltas,
+    /// and view contents to [`ExecutionMode::Sequential`].
+    Parallel,
+}
+
+/// Resolve the pipeline's thread count: `RAYON_NUM_THREADS` (the
+/// conventional knob, honored even though the pool is hand-rolled) if set
+/// and positive, else the machine's available parallelism.
+pub fn default_thread_count() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A persistent worker pool for per-transaction fan-out.
+///
+/// Transactions are short (tens of microseconds), so spawning OS threads
+/// per transaction would eat the parallel win; the pool keeps its workers
+/// alive across transactions and hands them boxed jobs over a channel.
+#[derive(Debug)]
+pub struct PipelinePool {
+    threads: usize,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PipelinePool {
+    /// A pool with an explicit worker count (≥ 1). With one thread, jobs
+    /// run inline on the caller — useful for pinned determinism tests.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return PipelinePool {
+                threads,
+                tx: None,
+                workers: Vec::new(),
+            };
+        }
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("ivm-pipeline-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = rx.lock().expect("pool receiver");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // pool dropped
+                        }
+                    })
+                    .expect("spawn pipeline worker")
+            })
+            .collect();
+        PipelinePool {
+            threads,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// A pool sized by [`default_thread_count`].
+    pub fn with_default_threads() -> Self {
+        Self::new(default_thread_count())
+    }
+
+    /// The process-wide shared pool (created on first use).
+    pub fn global() -> Arc<PipelinePool> {
+        static GLOBAL: OnceLock<Arc<PipelinePool>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(PipelinePool::with_default_threads())))
+    }
+
+    /// The worker count this pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every task, returning results in task order. Tasks run on the
+    /// workers (or inline when the pool has one thread or one task); the
+    /// caller blocks until all complete. A panicking task is re-raised on
+    /// the caller after the batch drains, so workers stay alive.
+    pub fn run<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send>>,
+    ) -> Vec<T> {
+        let n = tasks.len();
+        let Some(tx) = &self.tx else {
+            return tasks.into_iter().map(|t| t()).collect();
+        };
+        if n <= 1 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        type Outcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
+        let (rtx, rrx) = channel::<(usize, Outcome<T>)>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let rtx = rtx.clone();
+            tx.send(Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(task));
+                let _ = rtx.send((i, outcome));
+            }))
+            .expect("pool workers alive");
+        }
+        drop(rtx);
+        let mut slots: Vec<Option<Outcome<T>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, outcome) = rrx.recv().expect("every job reports");
+            slots[i] = Some(outcome);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in slots {
+            match slot.expect("all slots filled") {
+                Ok(v) => out.push(v),
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        out
+    }
+}
+
+impl Drop for PipelinePool {
+    fn drop(&mut self) {
+        self.tx.take(); // closes the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A canonical fingerprint of an access-free propagation prefix: the op
+/// chain from a base-table scan upward through unary `Select`/`Project`
+/// steps. Two engines whose tracks carry equal chains compute — by the
+/// purity of those propagation rules — equal deltas from the same base
+/// delta, so the chain itself is a collision-free cache key.
+pub type ChainFingerprint = Arc<Vec<OpKind>>;
+
+/// Per-transaction cross-engine memo of access-free propagated deltas.
+///
+/// Only `Scan → Select/Project…` prefixes are cacheable: their propagation
+/// rules never touch `InputAccess`, pose zero queries, and charge zero
+/// I/O in every mode — so reusing a result cannot perturb the charged-I/O
+/// invariant. The cache lives for one transaction (one base delta); the
+/// database creates a fresh one per `apply_delta`.
+#[derive(Debug, Default)]
+pub struct SharedDeltaCache {
+    map: Mutex<HashMap<ChainFingerprint, Delta>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedDeltaCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SharedDeltaCache::default()
+    }
+
+    /// The cached delta for a chain, if another engine propagated it.
+    pub fn get(&self, fp: &ChainFingerprint) -> Option<Delta> {
+        let found = self.map.lock().expect("cache lock").get(fp).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Record a propagated delta for a chain. Concurrent inserts of the
+    /// same chain are idempotent (purity: equal chains → equal deltas).
+    pub fn put(&self, fp: ChainFingerprint, delta: Delta) {
+        self.map.lock().expect("cache lock").insert(fp, delta);
+    }
+
+    /// (hits, misses) since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacetime_storage::tuple;
+
+    #[test]
+    fn pool_returns_results_in_task_order() {
+        let pool = PipelinePool::new(4);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let got = pool.run(tasks);
+        assert_eq!(got, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = PipelinePool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let tid = std::thread::current().id();
+        let tasks: Vec<Box<dyn FnOnce() -> bool + Send>> = (0..4)
+            .map(|_| {
+                Box::new(move || std::thread::current().id() == tid)
+                    as Box<dyn FnOnce() -> bool + Send>
+            })
+            .collect();
+        assert!(pool.run(tasks).into_iter().all(|on_caller| on_caller));
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_task() {
+        let pool = PipelinePool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom")),
+            Box::new(|| 3),
+        ];
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.run(tasks)));
+        assert!(caught.is_err(), "panic must propagate to the caller");
+        // The pool still works afterwards.
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 7), Box::new(|| 8)];
+        assert_eq!(pool.run(tasks), vec![7, 8]);
+    }
+
+    #[test]
+    fn thread_count_resolution_prefers_env() {
+        // Can't set the env var safely in-process across tests; just check
+        // the fallback is sane.
+        assert!(default_thread_count() >= 1);
+    }
+
+    #[test]
+    fn shared_cache_hit_and_miss_accounting() {
+        let cache = SharedDeltaCache::new();
+        let fp: ChainFingerprint = Arc::new(vec![OpKind::Scan {
+            table: "Emp".into(),
+        }]);
+        assert!(cache.get(&fp).is_none());
+        cache.put(Arc::clone(&fp), Delta::insert(tuple![1], 1));
+        // A structurally equal chain from *another* engine hits.
+        let same: ChainFingerprint = Arc::new(vec![OpKind::Scan {
+            table: "Emp".into(),
+        }]);
+        assert_eq!(cache.get(&same), Some(Delta::insert(tuple![1], 1)));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+}

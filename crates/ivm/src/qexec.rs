@@ -36,6 +36,16 @@ pub struct PlanCache {
 
 type BoundPlans = HashMap<(GroupId, Vec<usize>), Option<OpId>>;
 
+impl Clone for PlanCache {
+    // Manual because `Mutex` is not `Clone`: snapshot the cached decisions.
+    fn clone(&self) -> Self {
+        PlanCache {
+            bound: Mutex::new(self.bound.lock().expect("not poisoned").clone()),
+            full: Mutex::new(self.full.lock().expect("not poisoned").clone()),
+        }
+    }
+}
+
 impl PlanCache {
     /// Drop every cached decision (call after `analyze()` changes stats).
     pub fn clear(&self) {

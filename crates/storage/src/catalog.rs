@@ -7,6 +7,8 @@
 //! are "already materialized", §3.1).
 
 use std::collections::BTreeMap;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::error::{StorageError, StorageResult};
 use crate::relation::Relation;
@@ -51,15 +53,47 @@ impl Table {
 }
 
 /// The catalog: tables by (case-sensitive) name.
+///
+/// Entries are `Arc`-backed copy-on-write: cloning the catalog (or taking
+/// a [`Catalog::snapshot`]) shares every table's storage, and the first
+/// mutation through [`Catalog::table_mut`] after a share clones just that
+/// table. This is what makes lock-free snapshot reads cheap enough to take
+/// per transaction: a snapshot costs one `Arc` clone per table, not a data
+/// copy.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// A read-only view of the catalog at this instant. O(#tables) `Arc`
+    /// clones; no tuple data is copied. Mutations to the live catalog
+    /// after the snapshot (via [`Catalog::table_mut`]) copy-on-write the
+    /// affected table and leave the snapshot untouched.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        CatalogSnapshot {
+            inner: self.clone(),
+        }
+    }
+
+    /// Detach a table from the catalog, returning its shared handle. Used
+    /// by the parallel commit path to hand disjoint tables to worker
+    /// threads; pair with [`Catalog::restore_table`]. While detached, the
+    /// table is absent from lookups.
+    pub fn take_table(&mut self, name: &str) -> StorageResult<Arc<Table>> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Re-attach a table previously removed with [`Catalog::take_table`].
+    pub fn restore_table(&mut self, name: impl Into<String>, table: Arc<Table>) {
+        self.tables.insert(name.into(), table);
     }
 
     /// Register a base table.
@@ -95,13 +129,15 @@ impl Catalog {
             keys: Vec::new(),
             is_base,
         };
-        Ok(self.tables.entry(name).or_insert(table))
+        let entry = self.tables.entry(name).or_insert_with(|| Arc::new(table));
+        Ok(Arc::make_mut(entry))
     }
 
     /// Remove a table.
     pub fn drop_table(&mut self, name: &str) -> StorageResult<Table> {
         self.tables
             .remove(name)
+            .map(|t| Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone()))
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
@@ -114,19 +150,22 @@ impl Catalog {
     pub fn table(&self, name: &str) -> StorageResult<&Table> {
         self.tables
             .get(name)
+            .map(Arc::as_ref)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
-    /// Look up a table mutably.
+    /// Look up a table mutably. If the table is shared with a snapshot,
+    /// this clones it first (copy-on-write), so snapshots stay immutable.
     pub fn table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(Arc::make_mut)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
     /// Iterate tables in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Table)> {
-        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+        self.tables.iter().map(|(n, t)| (n.as_str(), t.as_ref()))
     }
 
     /// Declare a candidate key on a table by column names, creating a hash
@@ -153,6 +192,25 @@ impl Catalog {
             .map(|c| t.relation.schema().resolve_dotted(c))
             .collect::<StorageResult<_>>()?;
         t.relation.create_index(positions)
+    }
+}
+
+/// An immutable, `Send + Sync` view of a [`Catalog`] at one instant.
+///
+/// The read-view contract: a snapshot observes exactly the committed state
+/// at the time of [`Catalog::snapshot`], regardless of later mutations to
+/// the live catalog. All read APIs are available through `Deref`; there is
+/// deliberately no mutable access.
+#[derive(Debug, Clone)]
+pub struct CatalogSnapshot {
+    inner: Catalog,
+}
+
+impl Deref for CatalogSnapshot {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        &self.inner
     }
 }
 
@@ -230,6 +288,56 @@ mod tests {
         cat.drop_table("Dept").unwrap();
         assert!(!cat.contains("Dept"));
         assert!(cat.drop_table("Dept").is_err());
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut cat = demo();
+        let mut io = IoMeter::new();
+        cat.table_mut("Dept")
+            .unwrap()
+            .relation
+            .insert(tuple!["Sales", "mary", 500], 1, &mut io)
+            .unwrap();
+        let snap = cat.snapshot();
+        assert_eq!(snap.table("Dept").unwrap().relation.len(), 1);
+        // Mutate the live catalog: the snapshot must not see it.
+        cat.table_mut("Dept")
+            .unwrap()
+            .relation
+            .insert(tuple!["R&D", "ann", 900], 1, &mut io)
+            .unwrap();
+        assert_eq!(cat.table("Dept").unwrap().relation.len(), 2);
+        assert_eq!(snap.table("Dept").unwrap().relation.len(), 1);
+        // Dropping a table from the live catalog leaves the snapshot whole.
+        cat.drop_table("Dept").unwrap();
+        assert!(snap.table("Dept").is_ok());
+    }
+
+    #[test]
+    fn snapshot_shares_storage_until_write() {
+        let mut cat = demo();
+        let snap = cat.snapshot();
+        // Untouched tables stay physically shared with the snapshot.
+        let live = cat.table("Dept").unwrap() as *const Table;
+        let shared = snap.table("Dept").unwrap() as *const Table;
+        assert_eq!(live, shared, "snapshot must not deep-copy");
+        // The first write un-shares exactly the written table.
+        cat.table_mut("Dept").unwrap().analyze();
+        let live = cat.table("Dept").unwrap() as *const Table;
+        let shared = snap.table("Dept").unwrap() as *const Table;
+        assert_ne!(live, shared, "write must copy-on-write");
+    }
+
+    #[test]
+    fn take_and_restore_roundtrip() {
+        let mut cat = demo();
+        let t = cat.take_table("Dept").unwrap();
+        assert!(cat.table("Dept").is_err(), "detached while taken");
+        assert!(cat.take_table("Dept").is_err());
+        cat.restore_table("Dept", t);
+        assert!(cat.table("Dept").is_ok());
+        assert_eq!(cat.table("Dept").unwrap().keys, vec![vec![0]]);
     }
 
     #[test]

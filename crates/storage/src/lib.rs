@@ -39,7 +39,7 @@ pub mod tuple;
 pub mod value;
 
 pub use bag::Bag;
-pub use catalog::{Catalog, Table};
+pub use catalog::{Catalog, CatalogSnapshot, Table};
 pub use error::{StorageError, StorageResult};
 pub use index::HashIndex;
 pub use io::{IoMeter, IoSnapshot};

@@ -391,6 +391,35 @@ mod tests {
     }
 
     #[test]
+    fn exact_index_permuted_fallback_probes_correctly() {
+        let mut r = emp();
+        // Same column *set* as the probe, but non-identity order — and a
+        // same-length decoy on a different set that must never match.
+        let decoy = r.create_index(vec![1, 2]).unwrap();
+        let idx = r.create_index(vec![2, 0]).unwrap();
+        let (found, permute) = r.find_exact_index(&[0, 2]).expect("set matches");
+        assert_eq!(found, idx);
+        assert!(permute, "order differs, caller must remap the key");
+        assert_ne!(found, decoy, "a different column set must not match");
+        // Remap the probe key [EName, Salary] into the index's [2, 0]
+        // order, exactly as the engine's self-maintenance path does.
+        let cols = [0usize, 2];
+        let key = [Value::str("alice"), Value::Int(100)];
+        let probe: Vec<Value> = r
+            .index_key_cols(found)
+            .iter()
+            .map(|c| key[cols.iter().position(|x| x == c).unwrap()].clone())
+            .collect();
+        assert_eq!(probe, vec![Value::Int(100), Value::str("alice")]);
+        let bag = r.peek(found, &probe).expect("row present");
+        assert_eq!(bag.len(), 1);
+        assert_eq!(bag.sorted()[0].0, tuple!["alice", "Sales", 100]);
+        // Probing with the *unpermuted* key misses: the fallback is only
+        // sound together with the remap.
+        assert!(r.peek(found, &key).is_none());
+    }
+
+    #[test]
     fn peek_is_uncharged_and_matches_lookup() {
         let r = emp();
         let mut io = IoMeter::new();

@@ -77,11 +77,12 @@ fn main() {
         );
     }
 
-    let empty = outcome
-        .evaluated
-        .iter()
-        .find(|e| e.view_set.len() == 1)
-        .expect("empty set evaluated");
+    // `outcome.evaluated` is truncated to the top-K cheapest sets, which
+    // need not include the no-extra-views baseline — evaluate it directly.
+    let baseline: spacetime::optimizer::ViewSet = [s.root].into_iter().collect();
+    let empty = spacetime::optimizer::evaluate::evaluate_view_set_fresh(
+        &s.memo, &s.catalog, &model, s.root, &baseline, &s.txns, &config,
+    );
     println!(
         "maintaining nothing extra: {} page I/Os per txn; with V1: {} — \
          \"{{V1}} is likely to be the optimal set of additional views to maintain.\"",
