@@ -305,6 +305,12 @@ fn main() {
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"seed\": {SEED},");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    // Benchmarks must run the unfaulted hot path: CI greps for `false`.
+    let _ = writeln!(
+        json,
+        "  \"failpoints_compiled\": {},",
+        spacetime_storage::fault::compiled()
+    );
     json.push_str("  \"scenarios\": [\n");
     for (i, m) in measured.iter().enumerate() {
         let n = m.scenario.transactions;

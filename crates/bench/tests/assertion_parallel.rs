@@ -1,0 +1,138 @@
+//! Assertion checking under the parallel pipeline.
+//!
+//! `Assertion::check_planned` gates every transaction on the *planned*
+//! root delta, whichever execution mode produced the plan. These tests pin
+//! the contract for `ExecutionMode::Parallel` with a multi-engine group
+//! sharing the assertion's base relations (Emp/Dept): the violation report
+//! — name and witness sample — must be bit-identical to sequential
+//! execution at every pool width, the rejected transaction must leave the
+//! catalog untouched, and non-violating transactions must produce
+//! bit-identical reports.
+
+use std::sync::Arc;
+
+use spacetime_bench::workload::{load_paper_data, mixed_workload, paper_schema_db};
+use spacetime_delta::Delta;
+use spacetime_ivm::{
+    verify_all_views, Database, ExecutionMode, IvmError, PipelinePool, PropagationMode,
+};
+use spacetime_storage::{tuple, Bag};
+
+const WIDTHS: &[usize] = &[1, 2, 4, 8];
+
+/// The assertion plus several views over the same base relations, so the
+/// planning fan-out has engines both with and without assertion backing.
+fn build_db() -> Database {
+    let mut db = paper_schema_db();
+    db.set_propagation_mode(PropagationMode::Batched);
+    load_paper_data(&mut db, 6, 4);
+    db.execute_sql(
+        "CREATE MATERIALIZED VIEW DeptProfile AS \
+         SELECT DName, COUNT(*) AS Heads, MAX(Salary) AS TopSal \
+         FROM Emp GROUP BY DName",
+    )
+    .unwrap();
+    db.execute_sql(
+        "CREATE MATERIALIZED VIEW WellPaid AS \
+         SELECT EName, Emp.DName, MName FROM Emp, Dept \
+         WHERE Emp.DName = Dept.DName AND Salary > 150",
+    )
+    .unwrap();
+    db.execute_sql(
+        "CREATE ASSERTION DeptConstraint CHECK (NOT EXISTS ( \
+            SELECT Dept.DName FROM Emp, Dept \
+            WHERE Dept.DName = Emp.DName \
+            GROUP BY Dept.DName, Budget \
+            HAVING SUM(Salary) > Budget))",
+    )
+    .unwrap();
+    db
+}
+
+fn parallel_db(threads: usize) -> Database {
+    let mut db = build_db();
+    db.set_execution_mode(ExecutionMode::Parallel);
+    db.set_pipeline_pool(Arc::new(PipelinePool::new(threads)));
+    db
+}
+
+fn contents(db: &Database) -> Vec<(String, Bag)> {
+    db.catalog
+        .iter()
+        .map(|(n, t)| (n.to_string(), t.relation.data().clone()))
+        .collect()
+}
+
+/// A salary raise that pushes dept00002 over its budget (4 x 200 = 800).
+fn violating_delta() -> Delta {
+    Delta::modify(
+        tuple!["emp00002_0", "dept00002", 100],
+        tuple!["emp00002_0", "dept00002", 9_999],
+        1,
+    )
+}
+
+fn violation_of(db: &mut Database) -> (String, Vec<String>) {
+    let before = contents(db);
+    let err = db.apply_delta("Emp", violating_delta()).unwrap_err();
+    let IvmError::AssertionViolated { name, sample } = err else {
+        panic!("expected AssertionViolated, got: {err}");
+    };
+    assert_eq!(contents(db), before, "rejected txn must not write");
+    (name, sample)
+}
+
+#[test]
+fn violation_report_is_identical_across_modes_and_widths() {
+    let mut seq = build_db();
+    let expected = violation_of(&mut seq);
+    assert_eq!(expected.0, "DeptConstraint");
+    assert!(
+        !expected.1.is_empty(),
+        "the violation must carry witness tuples"
+    );
+    for &threads in WIDTHS {
+        let mut par = parallel_db(threads);
+        let got = violation_of(&mut par);
+        assert_eq!(
+            got, expected,
+            "violation name/witnesses diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn transactions_gated_by_assertions_report_identically() {
+    // A mixed stream against an assertion-guarded database: most
+    // transactions pass the gate, the occasional budget cut trips it. In
+    // *either* case every width must agree with sequential execution —
+    // same report when accepted, same error when rejected, and a rejected
+    // transaction writes nothing in any mode.
+    let txns = mixed_workload(6, 4, 12, 0xA55E27);
+    for &threads in WIDTHS {
+        let mut seq = build_db();
+        let mut par = parallel_db(threads);
+        for (i, (table, delta)) in txns.iter().enumerate() {
+            let before = contents(&par);
+            let r_seq = seq.apply_delta(table, delta.clone());
+            let r_par = par.apply_delta(table, delta.clone());
+            match (r_seq, r_par) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "txn {i} report diverged at {threads} threads")
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(
+                        a.to_string(),
+                        b.to_string(),
+                        "txn {i} error diverged at {threads} threads"
+                    );
+                    assert_eq!(contents(&par), before, "rejected txn wrote at {threads} threads");
+                }
+                (a, b) => panic!("txn {i} at {threads} threads: outcomes diverged: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(contents(&seq), contents(&par));
+        assert!(verify_all_views(&par).unwrap().is_empty());
+        assert!(verify_all_views(&seq).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! The deterministic fault-injection harness (requires `--features
+//! failpoints`).
+//!
+//! Sweeps every failpoint site in `spacetime_storage::fault::SITES` across
+//! every supported action (typed error / injected panic), hit thresholds,
+//! and execution shapes (Sequential, Parallel at pool widths 1/2/4/8),
+//! asserting the all-or-nothing contract each time:
+//!
+//! * a transaction interrupted by a fault leaves every catalog table
+//!   **bit-identical** to its pre-transaction state, with
+//!   `Database::integrity_check` clean;
+//! * an injected panic surfaces as `IvmError::TaskPanicked` (contained by
+//!   the pool — the process, the workers, and the catalog all survive);
+//! * retrying after clearing the fault produces exactly the report and
+//!   contents an unfaulted run produces.
+//!
+//! Fault plans are process-global, so every test here holds
+//! `fault::serial_guard()` for its whole body.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Arc;
+
+use spacetime_bench::workload::{load_paper_data, mixed_workload, paper_schema_db};
+use spacetime_delta::Delta;
+use spacetime_ivm::{
+    verify_all_views, Database, ExecutionMode, IvmError, PipelinePool, PropagationMode,
+    UpdateReport,
+};
+use spacetime_storage::fault::{self, FaultAction, FaultPlan, SITES};
+use spacetime_storage::Bag;
+
+/// Quiet the default panic hook for injected panics: the sweep triggers
+/// dozens of *expected* panics, whose backtraces would drown the test log.
+/// Real (unexpected) panics still print through the chained hook.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info.payload().downcast_ref::<String>().cloned().or_else(|| {
+                info.payload().downcast_ref::<&str>().map(|s| s.to_string())
+            });
+            if msg.is_some_and(|m| m.contains("injected panic at ")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// How transactions execute in one sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Sequential,
+    Parallel(usize),
+}
+
+const SHAPES: &[Shape] = &[
+    Shape::Sequential,
+    Shape::Parallel(1),
+    Shape::Parallel(2),
+    Shape::Parallel(4),
+    Shape::Parallel(8),
+];
+
+/// The template database every run clones: paper schema + data, three
+/// single-rooted views, a two-rooted view group over a shared aggregate,
+/// and the DeptConstraint assertion — several engines, several
+/// auxiliaries, so each commit crosses every failpoint site repeatedly.
+fn template() -> Database {
+    let mut db = paper_schema_db();
+    db.set_propagation_mode(PropagationMode::Batched);
+    load_paper_data(&mut db, 5, 3);
+    db.execute_sql(
+        "CREATE MATERIALIZED VIEW DeptProfile AS \
+         SELECT DName, COUNT(*) AS Heads, MAX(Salary) AS TopSal \
+         FROM Emp GROUP BY DName",
+    )
+    .unwrap();
+    db.execute_sql(
+        "CREATE MATERIALIZED VIEW WellPaid AS \
+         SELECT EName, Emp.DName, MName FROM Emp, Dept \
+         WHERE Emp.DName = Dept.DName AND Salary > 150",
+    )
+    .unwrap();
+    db.execute_sql(
+        "CREATE ASSERTION DeptConstraint CHECK (NOT EXISTS ( \
+            SELECT Dept.DName FROM Emp, Dept \
+            WHERE Dept.DName = Emp.DName \
+            GROUP BY Dept.DName, Budget \
+            HAVING SUM(Salary) > Budget))",
+    )
+    .unwrap();
+    db
+}
+
+fn shaped(db: &Database, shape: Shape) -> Database {
+    let mut db = db.clone();
+    match shape {
+        Shape::Sequential => db.set_execution_mode(ExecutionMode::Sequential),
+        Shape::Parallel(threads) => {
+            db.set_execution_mode(ExecutionMode::Parallel);
+            db.set_pipeline_pool(Arc::new(PipelinePool::new(threads)));
+        }
+    }
+    db
+}
+
+fn contents(db: &Database) -> Vec<(String, Bag)> {
+    db.catalog
+        .iter()
+        .map(|(n, t)| (n.to_string(), t.relation.data().clone()))
+        .collect()
+}
+
+/// A workload of transactions that all succeed unfaulted (pre-filtered
+/// against a throwaway clone, so assertion-violating or stale-state
+/// transactions never muddy the control).
+fn passing_txns(template: &Database, want: usize) -> Vec<(String, Delta)> {
+    let mut trial = template.clone();
+    let mut out = Vec::new();
+    for (table, delta) in mixed_workload(5, 3, 40, 0xFA171) {
+        if trial.apply_delta(&table, delta.clone()).is_ok() {
+            out.push((table, delta));
+            if out.len() == want {
+                break;
+            }
+        }
+    }
+    assert_eq!(out.len(), want, "could not assemble a passing workload");
+    out
+}
+
+/// The unfaulted reference: per-transaction reports and final contents.
+fn control(template: &Database, txns: &[(String, Delta)]) -> (Vec<UpdateReport>, Vec<(String, Bag)>) {
+    let mut db = template.clone();
+    let reports = txns
+        .iter()
+        .map(|(t, d)| db.apply_delta(t, d.clone()).unwrap())
+        .collect();
+    (reports, contents(&db))
+}
+
+/// One sweep cell: fault the first transaction at (site, action, on_hit)
+/// under `shape`, then assert rollback bit-identity, integrity, and
+/// retry-equals-control.
+#[allow(clippy::too_many_arguments)]
+fn sweep_cell(
+    template: &Database,
+    txns: &[(String, Delta)],
+    ctrl_reports: &[UpdateReport],
+    ctrl_contents: &[(String, Bag)],
+    site: &'static str,
+    action: FaultAction,
+    on_hit: u64,
+    shape: Shape,
+) {
+    let mut db = shaped(template, shape);
+    let pre = contents(&db);
+    let plan = match action {
+        FaultAction::Error => FaultPlan::new().error_at(site, on_hit),
+        FaultAction::Panic => FaultPlan::new().panic_at(site, on_hit),
+    };
+    let guard = fault::install(plan);
+    let (table, delta) = &txns[0];
+    let result = db.apply_delta(table, delta.clone());
+    let fired = guard.fired(site);
+    let label = format!("{site}/{action:?}/hit{on_hit}/{shape:?}");
+    match result {
+        Err(err) => {
+            assert!(fired, "{label}: errored without the fault firing: {err}");
+            match action {
+                FaultAction::Error => assert!(
+                    err.to_string().contains("injected fault"),
+                    "{label}: unexpected error: {err}"
+                ),
+                FaultAction::Panic => assert!(
+                    matches!(&err, IvmError::TaskPanicked { message }
+                        if message.contains("injected panic")),
+                    "{label}: expected TaskPanicked, got: {err}"
+                ),
+            }
+            // The catalog is bit-identical to its pre-transaction state.
+            assert_eq!(contents(&db), pre, "{label}: catalog torn by the fault");
+            db.integrity_check()
+                .unwrap_or_else(|e| panic!("{label}: integrity after fault: {e}"));
+        }
+        Ok(report) => {
+            // The armed hit count was never reached (e.g. `on_hit` past
+            // the site's per-txn hits, or a site this shape never
+            // crosses): the run must be indistinguishable from control.
+            assert!(!fired, "{label}: fired yet the transaction succeeded");
+            assert_eq!(report, ctrl_reports[0], "{label}: report diverged");
+        }
+    }
+    // Clear the fault and (re)run the full workload: the recovered
+    // database must be bit-identical to the unfaulted control. If the
+    // fault aborted txn 0 it is retried; if it never fired, txn 0 already
+    // committed and the remaining transactions pick up from there.
+    guard.clear();
+    let start = if contents(&db) == pre { 0 } else { 1 };
+    for (i, (t, d)) in txns.iter().enumerate().skip(start) {
+        let r = db
+            .apply_delta(t, d.clone())
+            .unwrap_or_else(|e| panic!("{label}: retry txn {i}: {e}"));
+        assert_eq!(r, ctrl_reports[i], "{label}: retry txn {i} report diverged");
+    }
+    drop(guard);
+    assert_eq!(contents(&db), ctrl_contents, "{label}: final contents diverged");
+    assert!(verify_all_views(&db).unwrap().is_empty(), "{label}");
+}
+
+/// The full deterministic sweep: every site x supported action x hit
+/// threshold x execution shape. Panic actions only run under Parallel
+/// shapes — the containment contract covers pool tasks, not the caller's
+/// thread (sites are marked accordingly in the catalog).
+#[test]
+fn fault_sweep_preserves_atomicity_at_every_site() {
+    quiet_injected_panics();
+    let _serial = fault::serial_guard();
+    let template = template();
+    let txns = passing_txns(&template, 4);
+    let (ctrl_reports, ctrl_contents) = control(&template, &txns);
+    for site in SITES {
+        for action in [FaultAction::Error, FaultAction::Panic] {
+            let supported = match action {
+                FaultAction::Error => site.supports_error,
+                FaultAction::Panic => site.supports_panic,
+            };
+            if !supported {
+                continue;
+            }
+            for on_hit in [1, 2] {
+                for &shape in SHAPES {
+                    if action == FaultAction::Panic && shape == Shape::Sequential {
+                        continue;
+                    }
+                    sweep_cell(
+                        &template,
+                        &txns,
+                        &ctrl_reports,
+                        &ctrl_contents,
+                        site.name,
+                        action,
+                        on_hit,
+                        shape,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Seeded single-fault plans (the splitmix64 path `FaultPlan::seeded`
+/// exposes to property tests) under a mid-width pool: whatever the seed
+/// picks, atomicity holds.
+#[test]
+fn seeded_fault_plans_preserve_atomicity() {
+    quiet_injected_panics();
+    let _serial = fault::serial_guard();
+    let template = template();
+    let txns = passing_txns(&template, 2);
+    let (ctrl_reports, ctrl_contents) = control(&template, &txns);
+    for seed in 0..24u64 {
+        let mut db = shaped(&template, Shape::Parallel(2));
+        let pre = contents(&db);
+        let guard = fault::install(FaultPlan::seeded(seed));
+        let (table, delta) = &txns[0];
+        match db.apply_delta(table, delta.clone()) {
+            Err(_) => {
+                assert_eq!(contents(&db), pre, "seed {seed}: catalog torn");
+                db.integrity_check()
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+            Ok(report) => assert_eq!(report, ctrl_reports[0], "seed {seed}"),
+        }
+        guard.clear();
+        if contents(&db) == pre {
+            let r = db.apply_delta(table, delta.clone()).unwrap();
+            assert_eq!(r, ctrl_reports[0], "seed {seed}: retry report");
+        }
+        let (t1, d1) = &txns[1];
+        let r1 = db.apply_delta(t1, d1.clone()).unwrap();
+        assert_eq!(r1, ctrl_reports[1], "seed {seed}: follow-up report");
+        drop(guard);
+        assert_eq!(contents(&db), ctrl_contents, "seed {seed}: final contents");
+    }
+}
+
+/// Satellite regression for the torn-commit window `commit_parallel` used
+/// to have: with two committing engines, a failure injected into the
+/// *second* engine's commit used to leave the first engine's already-
+/// mutated tables attached. Now the pre-commit originals are restored:
+/// nothing of either engine's commit survives.
+#[test]
+fn parallel_commit_failure_in_second_engine_restores_first() {
+    quiet_injected_panics();
+    let _serial = fault::serial_guard();
+    let template = template();
+    // A broad raise past WellPaid's `Salary > 150` threshold touches every
+    // Emp-dependent engine: DeptProfile's TopSal, WellPaid's membership,
+    // and the assertion's salary-sum auxiliary all change.
+    let delta = {
+        let mut d = Delta::new();
+        for dept in 0..3 {
+            d.push_modify(
+                spacetime_storage::tuple![
+                    format!("emp{dept:05}_0"),
+                    format!("dept{dept:05}"),
+                    100_i64
+                ],
+                spacetime_storage::tuple![
+                    format!("emp{dept:05}_0"),
+                    format!("dept{dept:05}"),
+                    180_i64
+                ],
+                1,
+            );
+        }
+        d
+    };
+    // Calibrate: count the `ivm::commit_view` hits of one unfaulted run
+    // (armed far past any plausible threshold so nothing fires).
+    let commit_hits = {
+        let mut probe = shaped(&template, Shape::Parallel(2));
+        let guard = fault::install(FaultPlan::new().error_at("ivm::commit_view", u64::MAX));
+        probe.apply_delta("Emp", delta.clone()).unwrap();
+        guard.hits("ivm::commit_view")
+    };
+    assert!(
+        commit_hits >= 2,
+        "regression needs >= 2 committing view deltas, got {commit_hits}"
+    );
+    for threads in [1, 2] {
+        let mut db = shaped(&template, Shape::Parallel(threads));
+        let pre = contents(&db);
+        // Fire on the *last* commit hit: every other engine's mutation is
+        // already staged (or detached) when this one fails.
+        let guard = fault::install(FaultPlan::new().error_at("ivm::commit_view", commit_hits));
+        let err = db.apply_delta("Emp", delta.clone()).unwrap_err();
+        assert!(guard.fired("ivm::commit_view"), "width {threads}: never fired");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert_eq!(
+            contents(&db),
+            pre,
+            "width {threads}: first engine's commit survived a second-engine failure"
+        );
+        db.integrity_check().unwrap();
+        drop(guard);
+        // The identical transaction succeeds once the fault is gone.
+        db.apply_delta("Emp", delta.clone()).unwrap();
+        assert!(verify_all_views(&db).unwrap().is_empty());
+    }
+}
+
+/// A panicking pool task must not kill the worker, the pool, or the
+/// database: the error is typed, the catalog intact, and the *same pool*
+/// keeps serving subsequent transactions.
+#[test]
+fn worker_panic_is_contained_and_pool_survives() {
+    quiet_injected_panics();
+    let _serial = fault::serial_guard();
+    let template = template();
+    let pool = Arc::new(PipelinePool::new(2));
+    let mut db = template.clone();
+    db.set_execution_mode(ExecutionMode::Parallel);
+    db.set_pipeline_pool(Arc::clone(&pool));
+    let txns = passing_txns(&template, 2);
+    let pre = contents(&db);
+    {
+        let _guard = fault::install(FaultPlan::new().panic_at("ivm::pool_dispatch", 1));
+        let (table, delta) = &txns[0];
+        let err = db.apply_delta(table, delta.clone()).unwrap_err();
+        assert!(
+            matches!(&err, IvmError::TaskPanicked { message } if message.contains("injected panic")),
+            "{err}"
+        );
+        assert_eq!(contents(&db), pre);
+        db.integrity_check().unwrap();
+    }
+    // Same database, same pool, no fault: business as usual.
+    for (table, delta) in &txns {
+        db.apply_delta(table, delta.clone()).unwrap();
+    }
+    assert!(verify_all_views(&db).unwrap().is_empty());
+    db.integrity_check().unwrap();
+}

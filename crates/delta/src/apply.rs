@@ -16,6 +16,9 @@ use crate::delta::Delta;
 /// happen before insertions, so a delta that moves `n` copies between
 /// identical tuples round-trips.
 pub fn apply_to_relation(delta: &Delta, rel: &mut Relation, io: &mut IoMeter) -> StorageResult<()> {
+    // The innermost write of every commit path; firing here interrupts a
+    // transaction with zero or more earlier deltas already staged.
+    spacetime_storage::fault::fire("delta::apply_to")?;
     for (t, c) in delta.deletes.iter() {
         rel.delete(t, c, io)?;
     }

@@ -59,6 +59,11 @@ pub enum SqlOutcome {
 }
 
 /// A database session.
+///
+/// `Clone` is cheap: the catalog's tables and the engines sit behind
+/// `Arc`s, so a clone shares all storage copy-on-write. The fault harness
+/// relies on this to stamp out fresh databases from a prebuilt template.
+#[derive(Clone)]
 pub struct Database {
     /// Storage: base tables and materialized views.
     pub catalog: Catalog,
@@ -446,31 +451,55 @@ impl Database {
                 }
             }
         }
-        // Phase 2: commit everywhere, merging each engine's planning
-        // report with its apply report in engine order (deterministic
-        // regardless of which threads did the work).
-        let committing = planned
-            .iter()
-            .filter(|p| !p.view_deltas.is_empty())
-            .count();
-        let pool = self.pool();
+        // Phase 2: commit everywhere. Both paths follow the staged-commit
+        // protocol (DESIGN.md §12): every write lands in a staged
+        // copy-on-write `Arc<Table>` first, and the catalog changes only
+        // at the single `restore_tables` swap at the end — so ANY failure
+        // up to that point (storage error, injected fault, contained
+        // panic) leaves the catalog bit-identical to its pre-transaction
+        // state. Reports merge each engine's planning report with its
+        // apply report in engine order (deterministic regardless of which
+        // threads did the work).
         let mut combined = UpdateReport::default();
-        if self.exec == ExecutionMode::Parallel && pool.threads() > 1 && committing >= 2 {
-            self.commit_parallel(&pool, &planned, &mut combined)?;
-        } else {
-            for (e, plan) in self.engines.iter().zip(&planned) {
-                combined.merge(&plan.report);
-                let r = e.commit_update(&mut self.catalog, plan)?;
-                combined.merge(&r);
+        match self.exec {
+            ExecutionMode::Sequential => {
+                self.commit_sequential(table, &delta, &planned, &mut combined)?
+            }
+            // All Parallel-mode commits route through the pool — even a
+            // single committing engine at width 1 — so an injected panic
+            // in commit code is always contained by the pool's
+            // catch_unwind rather than unwinding the caller.
+            ExecutionMode::Parallel => {
+                let pool = self.pool();
+                self.commit_parallel(&pool, table, &delta, &planned, &mut combined)?
             }
         }
-        // Base relation last.
-        let mut base_io = IoMeter::new();
-        let rel = &mut self.catalog.table_mut(table)?.relation;
-        spacetime_delta::apply_to_relation(&delta, rel, &mut base_io)?;
-        combined.base_io = base_io;
         self.last_report = Some(combined.clone());
         Ok(combined)
+    }
+
+    /// Sequential staged commit: stage every engine's view deltas and the
+    /// base delta into copy-on-write table copies, then swap them all in
+    /// atomically. An error anywhere before the swap returns with the
+    /// catalog untouched.
+    fn commit_sequential(
+        &mut self,
+        table: &str,
+        delta: &Delta,
+        planned: &[PlannedUpdate],
+        combined: &mut UpdateReport,
+    ) -> IvmResult<()> {
+        let mut staged: BTreeMap<String, Arc<Table>> = BTreeMap::new();
+        for (e, plan) in self.engines.iter().zip(planned) {
+            combined.merge(&plan.report);
+            let r = e.commit_staged(&self.catalog, &mut staged, plan)?;
+            combined.merge(&r);
+        }
+        let base_io = stage_base_delta(&self.catalog, &mut staged, table, delta)?;
+        // The commit point: one atomic batch swap (or no change at all).
+        self.catalog.restore_tables(staged)?;
+        combined.base_io = base_io;
+        Ok(())
     }
 
     /// Plan every engine concurrently against an immutable catalog
@@ -506,49 +535,76 @@ impl Database {
         }
         // Results arrive in task order = engine order among dependents, so
         // on failure the first (lowest-index) engine's error surfaces,
-        // matching the sequential path.
-        for (i, r) in pool.run(tasks) {
+        // matching the sequential path. Planning never writes, so a failed
+        // (or panicked) plan needs no rollback — the catalog was never
+        // touched.
+        for outcome in pool.run_outcomes(tasks)? {
+            let (i, r) = outcome.map_err(|message| IvmError::TaskPanicked { message })?;
             slots[i] = Some(r?);
         }
-        Ok(slots
+        slots
             .into_iter()
-            .map(|s| s.expect("every engine planned"))
-            .collect())
+            .map(|s| s.ok_or_else(|| IvmError::Internal("an engine was never planned".into())))
+            .collect()
     }
 
     /// Commit every engine's planned deltas concurrently. Each committing
     /// engine's materialized tables are detached from the catalog
     /// ([`Catalog::take_table`] — the sets are disjoint, every engine owns
-    /// its own view/auxiliary tables), applied on the pool, and
-    /// re-attached before any error is surfaced.
+    /// its own view/auxiliary tables) and applied on the pool through
+    /// copy-on-write staging ([`IvmEngine::commit_detached`] mutates
+    /// `Arc::make_mut` copies, never the detached originals).
+    ///
+    /// All-or-nothing: the pre-commit `Arc`s of every detached table are
+    /// kept in `originals`, so whatever goes wrong — a commit error, an
+    /// injected fault, a *panicking* task (contained by the pool; its
+    /// staged tables die with it, the originals don't) — the originals are
+    /// re-attached and the catalog is bit-identical to its pre-transaction
+    /// state. Only when every task succeeded and the base delta staged
+    /// cleanly does a single `restore_tables` swap publish the new state.
     fn commit_parallel(
         &mut self,
         pool: &PipelinePool,
+        table: &str,
+        delta: &Delta,
         planned: &[PlannedUpdate],
         combined: &mut UpdateReport,
     ) -> IvmResult<()> {
         type CommitOut = (usize, BTreeMap<String, Arc<Table>>, IvmResult<UpdateReport>);
         type CommitTask = Box<dyn FnOnce() -> CommitOut + Send>;
+        let mut originals: BTreeMap<String, Arc<Table>> = BTreeMap::new();
         let mut tasks: Vec<CommitTask> = Vec::new();
         for (i, (e, plan)) in self.engines.iter().zip(planned).enumerate() {
             if plan.view_deltas.is_empty() {
                 continue;
             }
             let mut tables: BTreeMap<String, Arc<Table>> = BTreeMap::new();
-            let names: Vec<&String> = plan
-                .view_deltas
-                .iter()
-                .map(|(g, _)| &e.materialized[g])
-                .collect();
-            for name in names {
+            for (g, _) in &plan.view_deltas {
+                let name = e.materialized.get(g).ok_or_else(|| {
+                    IvmError::Internal(format!(
+                        "plan references group N{} which `{}` never materialized",
+                        g.0, e.name
+                    ))
+                });
+                let name = match name {
+                    Ok(n) => n,
+                    Err(err) => {
+                        for (n, t) in originals {
+                            self.catalog.restore_table(n, t);
+                        }
+                        return Err(err);
+                    }
+                };
                 if !tables.contains_key(name) {
                     match self.catalog.take_table(name) {
                         Ok(t) => {
+                            originals.insert(name.clone(), Arc::clone(&t));
                             tables.insert(name.clone(), t);
                         }
                         Err(err) => {
-                            // Put everything back before failing.
-                            for (n, t) in tables {
+                            // Put everything detached so far back before
+                            // failing (reattachment cannot fail).
+                            for (n, t) in originals {
                                 self.catalog.restore_table(n, t);
                             }
                             return Err(err.into());
@@ -564,30 +620,75 @@ impl Database {
                 (i, tables, r)
             }));
         }
-        let mut commit_reports: BTreeMap<usize, UpdateReport> = BTreeMap::new();
-        let mut first_err: Option<IvmError> = None;
-        for (i, tables, r) in pool.run(tasks) {
-            for (n, t) in tables {
-                self.catalog.restore_table(n, t);
-            }
-            match r {
-                Ok(rep) => {
-                    commit_reports.insert(i, rep);
+        // Outcomes arrive in task order = engine order, so the first
+        // failure surfaced is the lowest-index engine's, matching
+        // sequential execution. A panicked task's staged tables are gone,
+        // but `originals` still holds every pre-commit Arc.
+        let outcomes = match pool.run_outcomes(tasks) {
+            Ok(o) => o,
+            Err(err) => {
+                for (n, t) in originals {
+                    self.catalog.restore_table(n, t);
                 }
-                // Task order = engine order, so the first error seen is the
-                // lowest-index engine's, as in sequential execution.
-                Err(e) if first_err.is_none() => first_err = Some(e),
-                Err(_) => {}
+                return Err(err);
+            }
+        };
+        let mut commit_reports: BTreeMap<usize, UpdateReport> = BTreeMap::new();
+        let mut mutated: BTreeMap<String, Arc<Table>> = BTreeMap::new();
+        let mut first_err: Option<IvmError> = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok((i, tables, Ok(rep))) => {
+                    commit_reports.insert(i, rep);
+                    mutated.extend(tables);
+                }
+                Ok((_, _, Err(e))) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(message) => {
+                    first_err.get_or_insert(IvmError::TaskPanicked { message });
+                }
             }
         }
+        // Stage the base delta too (only once every engine committed), so
+        // the base relation joins the same atomic swap.
+        let base_io = if first_err.is_none() {
+            match stage_base_delta(&self.catalog, &mut mutated, table, delta) {
+                Ok(io) => Some(io),
+                Err(e) => {
+                    first_err = Some(e);
+                    None
+                }
+            }
+        } else {
+            None
+        };
         if let Some(e) = first_err {
+            // Roll back: re-attach every pre-commit original; staged
+            // mutations are discarded wholesale.
+            for (n, t) in originals {
+                self.catalog.restore_table(n, t);
+            }
             return Err(e);
+        }
+        // The commit point: publish every staged table in one swap. On an
+        // injected failure here, fall back to the originals — the swap
+        // fires all failpoints before touching the map, so it is still
+        // all-or-nothing.
+        if let Err(e) = self.catalog.restore_tables(mutated) {
+            for (n, t) in originals {
+                self.catalog.restore_table(n, t);
+            }
+            return Err(e.into());
         }
         for (i, plan) in planned.iter().enumerate() {
             combined.merge(&plan.report);
             if let Some(r) = commit_reports.get(&i) {
                 combined.merge(r);
             }
+        }
+        if let Some(io) = base_io {
+            combined.base_io = io;
         }
         Ok(())
     }
@@ -596,11 +697,26 @@ impl Database {
     /// update several relations): each relation's delta is propagated
     /// sequentially, with immediate-mode assertion checking per step
     /// (SQL-92's default). Returns the summed maintenance report.
+    ///
+    /// All-or-nothing: if update *k* fails — including an assertion
+    /// Violation detected only once updates `1..k` are in place — the
+    /// whole transaction rolls back and the catalog is bit-identical to
+    /// its pre-transaction state. The rollback is a snapshot restore
+    /// (`Arc`-backed catalog clone, no data copy), so it cannot itself
+    /// fail.
     pub fn apply_transaction(&mut self, updates: Vec<(String, Delta)>) -> IvmResult<UpdateReport> {
+        let backup = self.catalog.clone();
+        let prior_report = self.last_report.clone();
         let mut combined = UpdateReport::default();
         for (table, delta) in updates {
-            let r = self.apply_delta(&table, delta)?;
-            combined.merge(&r);
+            match self.apply_delta(&table, delta) {
+                Ok(r) => combined.merge(&r),
+                Err(e) => {
+                    self.catalog = backup;
+                    self.last_report = prior_report;
+                    return Err(e);
+                }
+            }
         }
         self.last_report = Some(combined.clone());
         Ok(combined)
@@ -616,6 +732,67 @@ impl Database {
         }
         Ok(out)
     }
+
+    /// Post-failure damage audit. Verifies structural invariants the
+    /// commit protocol promises to preserve no matter how a transaction
+    /// died:
+    ///
+    /// 1. every engine's materialized tables (root views and auxiliaries)
+    ///    are attached to the catalog — nothing was left detached by a
+    ///    panicked parallel commit;
+    /// 2. every assertion's backing view matches recomputation from the
+    ///    base relations (an assertion view that drifted would silently
+    ///    stop enforcing its constraint).
+    ///
+    /// Cheap relative to [`verify_all_views`] (which recomputes *every*
+    /// engine): only assertion-backing engines are recomputed here.
+    pub fn integrity_check(&self) -> IvmResult<()> {
+        for e in &self.engines {
+            for table in e.materialized_tables() {
+                if !self.catalog.contains(table) {
+                    return Err(IvmError::Integrity(format!(
+                        "materialized table `{table}` of view `{}` is detached from the catalog",
+                        e.name
+                    )));
+                }
+            }
+        }
+        for a in &self.assertions {
+            let Some(engine) = self.engines.iter().find(|e| e.name == a.view) else {
+                return Err(IvmError::Integrity(format!(
+                    "assertion `{}` has no backing engine `{}`",
+                    a.name, a.view
+                )));
+            };
+            let mismatches = crate::verify::verify_engine(engine, &self.catalog)?;
+            if let Some(m) = mismatches.first() {
+                return Err(IvmError::Integrity(format!(
+                    "assertion `{}` view `{}` diverged from recomputation: {}",
+                    a.name, m.table, m.detail
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Stage the base delta into a copy-on-write copy of the base table,
+/// inserting it into `staged` for the caller's atomic swap. The catalog is
+/// read, never written.
+fn stage_base_delta(
+    catalog: &Catalog,
+    staged: &mut BTreeMap<String, Arc<Table>>,
+    table: &str,
+    delta: &Delta,
+) -> IvmResult<IoMeter> {
+    let mut base_io = IoMeter::new();
+    let entry = match staged.entry(table.to_string()) {
+        std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::btree_map::Entry::Vacant(e) => e.insert(catalog.table_arc(table)?),
+    };
+    let rel = &mut Arc::make_mut(entry).relation;
+    spacetime_delta::apply_to_relation(delta, rel, &mut base_io)?;
+    Ok(base_io)
 }
 
 fn violation_error(v: Violation) -> IvmError {

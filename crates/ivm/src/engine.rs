@@ -394,11 +394,11 @@ impl IvmEngine {
 
         // Topological order of the track's groups (children first) and the
         // table's leaf group, both computed once at build time.
-        let order = self
-            .prop_ctx
-            .topo
-            .get(table)
-            .expect("topo computed at build for every track");
+        let order = self.prop_ctx.topo.get(table).ok_or_else(|| {
+            IvmError::Internal(format!(
+                "track for `{table}` has no topo order (must be computed at build)"
+            ))
+        })?;
         let leaf = self.prop_ctx.leaves.get(table).copied().ok_or_else(|| {
             IvmError::Unsupported(format!("table `{table}` not under view `{}`", self.name))
         })?;
@@ -480,7 +480,13 @@ impl IvmEngine {
                             .collect();
                         handles
                             .into_iter()
-                            .map(|h| h.join().expect("propagation thread must not panic"))
+                            .map(|h| {
+                                h.join().unwrap_or_else(|p| {
+                                    Err(IvmError::TaskPanicked {
+                                        message: crate::pipeline::panic_message(p.as_ref()),
+                                    })
+                                })
+                            })
                             .collect()
                     });
                 for r in results {
@@ -582,7 +588,12 @@ impl IvmEngine {
                 return Ok(Some(d));
             }
         }
-        let d_in = deltas[&children[delta_child]].clone();
+        let d_in = deltas
+            .get(&children[delta_child])
+            .ok_or_else(|| {
+                IvmError::Internal("carrier child lost its delta during propagation".into())
+            })?
+            .clone();
         let node = Arc::new(ExprNode {
             op: self.memo.op(op).op.clone(),
             children: vec![],
@@ -628,7 +639,7 @@ impl IvmEngine {
     ) -> IvmResult<UpdateReport> {
         let mut report = UpdateReport::default();
         for (g, delta) in &planned.view_deltas {
-            let table = &self.materialized[g];
+            let table = self.backing_table(g)?;
             let io = if self.roots.contains(g) {
                 &mut report.root_io
             } else {
@@ -640,10 +651,50 @@ impl IvmEngine {
         Ok(report)
     }
 
+    /// [`IvmEngine::commit_update`] against *staged* copies: each touched
+    /// materialization is copied out of the (unmodified) catalog into
+    /// `staged` on first touch, and every delta is applied to the staged
+    /// copy. The catalog itself is never written — the caller swaps the
+    /// staged tables in atomically once every engine (and the base delta)
+    /// has staged successfully, which is what makes the sequential
+    /// transaction path all-or-nothing.
+    ///
+    /// The `ivm::commit_view` failpoint fires before each view delta.
+    pub fn commit_staged(
+        &self,
+        catalog: &Catalog,
+        staged: &mut BTreeMap<String, Arc<Table>>,
+        planned: &PlannedUpdate,
+    ) -> IvmResult<UpdateReport> {
+        let mut report = UpdateReport::default();
+        for (g, delta) in &planned.view_deltas {
+            spacetime_storage::fault::fire("ivm::commit_view")?;
+            let table = self.backing_table(g)?;
+            let io = if self.roots.contains(g) {
+                &mut report.root_io
+            } else {
+                &mut report.aux_io
+            };
+            let t = match staged.entry(table.clone()) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(catalog.table_arc(table)?)
+                }
+            };
+            let rel = &mut Arc::make_mut(t).relation;
+            apply_to_relation(delta, rel, io)?;
+        }
+        Ok(report)
+    }
+
     /// [`IvmEngine::commit_update`] against tables detached from the
     /// catalog ([`Catalog::take_table`]) — the parallel commit path, where
     /// each engine's worker owns its (disjoint) materializations for the
-    /// duration of the apply.
+    /// duration of the apply. Mutation is staged through `Arc::make_mut`
+    /// copies, so on failure the caller still holds the untouched
+    /// pre-commit `Arc`s and can reattach them.
+    ///
+    /// The `ivm::commit_view` failpoint fires before each view delta.
     pub fn commit_detached(
         &self,
         tables: &mut BTreeMap<String, Arc<Table>>,
@@ -651,7 +702,8 @@ impl IvmEngine {
     ) -> IvmResult<UpdateReport> {
         let mut report = UpdateReport::default();
         for (g, delta) in &planned.view_deltas {
-            let table = &self.materialized[g];
+            spacetime_storage::fault::fire("ivm::commit_view")?;
+            let table = self.backing_table(g)?;
             let io = if self.roots.contains(g) {
                 &mut report.root_io
             } else {
@@ -664,6 +716,25 @@ impl IvmEngine {
             apply_to_relation(delta, rel, io)?;
         }
         Ok(report)
+    }
+
+    /// The backing table of a materialized group, as a typed error rather
+    /// than a map-indexing panic (a plan can only reference groups this
+    /// engine materialized; anything else is an internal invariant bug).
+    fn backing_table(&self, g: &GroupId) -> IvmResult<&String> {
+        self.materialized.get(g).ok_or_else(|| {
+            IvmError::Internal(format!(
+                "plan references group N{} which `{}` never materialized",
+                g.0, self.name
+            ))
+        })
+    }
+
+    /// Names of every table this engine materialized (root views plus
+    /// auxiliaries) — the set [`crate::Database::integrity_check`] expects
+    /// to find attached in the catalog.
+    pub fn materialized_tables(&self) -> impl Iterator<Item = &String> {
+        self.materialized.values()
     }
 
     /// Convenience: plan + commit in one call (no assertion gating).
@@ -743,8 +814,18 @@ impl InputAccess for EngineAccess<'_, '_, '_> {
                     let probe: Vec<Value> = rel
                         .index_key_cols(idx)
                         .iter()
-                        .map(|c| key[cols.iter().position(|x| x == c).expect("subset")].clone())
-                        .collect();
+                        .map(|c| {
+                            cols.iter()
+                                .position(|x| x == c)
+                                .map(|i| key[i].clone())
+                                .ok_or_else(|| {
+                                    spacetime_storage::StorageError::Internal(
+                                        "exact index key columns not a subset of probe columns"
+                                            .into(),
+                                    )
+                                })
+                        })
+                        .collect::<StorageResult<_>>()?;
                     rel.peek(idx, &probe).cloned().unwrap_or_default()
                 } else {
                     rel.peek(idx, key).cloned().unwrap_or_default()

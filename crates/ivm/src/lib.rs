@@ -50,6 +50,19 @@ pub enum IvmError {
         /// Sample violating tuples (rendered).
         sample: Vec<String>,
     },
+    /// A pipeline task panicked. The panic was contained: the worker pool
+    /// survives, detached tables were salvaged from the pre-commit
+    /// snapshot, and the catalog is bit-identical to its pre-transaction
+    /// state — the transaction simply never happened.
+    TaskPanicked {
+        /// The panic payload, rendered (when it was a string).
+        message: String,
+    },
+    /// A post-failure integrity check found damage (a missing/detached
+    /// table or an assertion view diverging from recomputation).
+    Integrity(String),
+    /// An internal invariant did not hold (a bug, not a user error).
+    Internal(String),
     /// Unsupported operation.
     Unsupported(String),
 }
@@ -66,6 +79,11 @@ impl std::fmt::Display for IvmError {
                 }
                 Ok(())
             }
+            IvmError::TaskPanicked { message } => {
+                write!(f, "pipeline task panicked: {message}")
+            }
+            IvmError::Integrity(msg) => write!(f, "integrity check failed: {msg}"),
+            IvmError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
             IvmError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }

@@ -25,12 +25,15 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use spacetime_algebra::OpKind;
 use spacetime_delta::Delta;
+use spacetime_storage::fault;
+
+use crate::{IvmError, IvmResult};
 
 /// How [`crate::Database`] executes delta propagation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,16 +67,65 @@ pub fn default_thread_count() -> usize {
 
 type Job = Box<dyn FnOnce() + Send>;
 
+/// A task's result as seen by the pool: the value, or the panic payload
+/// rendered to a message. The pool never lets a task's unwind escape a
+/// worker; callers decide whether a panic is a typed error
+/// ([`crate::IvmError::TaskPanicked`]) or should be re-raised.
+pub type TaskOutcome<T> = Result<T, String>;
+
+type RawOutcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
+
+/// Render a panic payload (string payloads verbatim, anything else typed).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A persistent worker pool for per-transaction fan-out.
 ///
 /// Transactions are short (tens of microseconds), so spawning OS threads
 /// per transaction would eat the parallel win; the pool keeps its workers
 /// alive across transactions and hands them boxed jobs over a channel.
+///
+/// Panic containment: every task (pooled *and* inline) runs under
+/// `catch_unwind`, so a panicking task never kills a worker's job loop
+/// and never unwinds the caller unless the caller opts in
+/// ([`PipelinePool::run`]). Should a worker thread nevertheless die, the
+/// next dispatch detects and replaces it ([`PipelinePool::run_outcomes`]
+/// calls `ensure_workers`), so one poisoned transaction cannot degrade
+/// the pool for the rest of the process.
 #[derive(Debug)]
 pub struct PipelinePool {
     threads: usize,
     tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Shared job receiver, kept here too so worker respawn can re-attach
+    /// to the same queue (and so `tx.send` cannot observe a closed
+    /// channel while the pool is alive).
+    rx: Option<Arc<Mutex<Receiver<Job>>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+fn spawn_worker(i: usize, rx: Arc<Mutex<Receiver<Job>>>) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("ivm-pipeline-{i}"))
+        .spawn(move || loop {
+            let job = {
+                // A sibling worker that died while holding the lock (it
+                // cannot panic during `recv`, but stay defensive) must not
+                // take the whole pool down with lock poisoning.
+                let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                guard.recv()
+            };
+            match job {
+                Ok(job) => job(),
+                Err(_) => return, // pool dropped
+            }
+        })
 }
 
 impl PipelinePool {
@@ -85,33 +137,39 @@ impl PipelinePool {
             return PipelinePool {
                 threads,
                 tx: None,
-                workers: Vec::new(),
+                rx: None,
+                workers: Mutex::new(Vec::new()),
             };
         }
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("ivm-pipeline-{i}"))
-                    .spawn(move || loop {
-                        let job = {
-                            let guard = rx.lock().expect("pool receiver");
-                            guard.recv()
-                        };
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => return, // pool dropped
-                        }
-                    })
-                    .expect("spawn pipeline worker")
-            })
+            .map(|i| spawn_worker(i, Arc::clone(&rx)).expect("spawn pipeline worker"))
             .collect();
         PipelinePool {
             threads,
             tx: Some(tx),
-            workers,
+            rx: Some(rx),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Replace workers whose threads have exited (e.g. a panic that
+    /// escaped the per-job `catch_unwind`, which should be impossible, or
+    /// a crashed thread). Called on every dispatch; a healthy pool pays
+    /// one `is_finished` check per worker.
+    fn ensure_workers(&self) {
+        let Some(rx) = &self.rx else {
+            return;
+        };
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for (i, slot) in workers.iter_mut().enumerate() {
+            if slot.is_finished() {
+                if let Ok(fresh) = spawn_worker(i, Arc::clone(rx)) {
+                    let dead = std::mem::replace(slot, fresh);
+                    let _ = dead.join();
+                }
+            }
         }
     }
 
@@ -131,41 +189,35 @@ impl PipelinePool {
         self.threads
     }
 
-    /// Run every task, returning results in task order. Tasks run on the
-    /// workers (or inline when the pool has one thread or one task); the
-    /// caller blocks until all complete. A panicking task is re-raised on
-    /// the caller after the batch drains, so workers stay alive.
-    pub fn run<T: Send + 'static>(
+    /// Run every task, returning per-task outcomes in task order: `Ok`
+    /// with the value, or `Err` with the rendered panic message if the
+    /// task panicked. Tasks run on the workers (or inline when the pool
+    /// has one thread or one task — *still* panic-contained); the caller
+    /// blocks until all complete. The `ivm::pool_dispatch` failpoint fires
+    /// as each task starts.
+    pub fn run_outcomes<T: Send + 'static>(
         &self,
         tasks: Vec<Box<dyn FnOnce() -> T + Send>>,
-    ) -> Vec<T> {
-        let n = tasks.len();
-        let Some(tx) = &self.tx else {
-            return tasks.into_iter().map(|t| t()).collect();
-        };
-        if n <= 1 {
-            return tasks.into_iter().map(|t| t()).collect();
-        }
-        type Outcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
-        let (rtx, rrx) = channel::<(usize, Outcome<T>)>();
-        for (i, task) in tasks.into_iter().enumerate() {
-            let rtx = rtx.clone();
-            tx.send(Box::new(move || {
-                let outcome = catch_unwind(AssertUnwindSafe(task));
-                let _ = rtx.send((i, outcome));
-            }))
-            .expect("pool workers alive");
-        }
-        drop(rtx);
-        let mut slots: Vec<Option<Outcome<T>>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (i, outcome) = rrx.recv().expect("every job reports");
-            slots[i] = Some(outcome);
-        }
-        let mut out = Vec::with_capacity(n);
+    ) -> IvmResult<Vec<TaskOutcome<T>>> {
+        Ok(self
+            .run_raw(tasks)?
+            .into_iter()
+            .map(|o| o.map_err(|p| panic_message(p.as_ref())))
+            .collect())
+    }
+
+    /// Run every task, returning results in task order; a panicking task
+    /// is re-raised on the caller after the batch drains. The legacy
+    /// interface — transaction paths use [`PipelinePool::run_outcomes`]
+    /// so a panic becomes a typed error instead of an unwind.
+    pub fn run<T: Send + 'static>(&self, tasks: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+        let outcomes = self
+            .run_raw(tasks)
+            .unwrap_or_else(|e| panic!("pipeline pool unavailable: {e}"));
+        let mut out = Vec::with_capacity(outcomes.len());
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for slot in slots {
-            match slot.expect("all slots filled") {
+        for o in outcomes {
+            match o {
                 Ok(v) => out.push(v),
                 Err(p) => panic = Some(p),
             }
@@ -175,12 +227,61 @@ impl PipelinePool {
         }
         out
     }
+
+    fn run_raw<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send>>,
+    ) -> IvmResult<Vec<RawOutcome<T>>> {
+        let execute = |task: Box<dyn FnOnce() -> T + Send>| -> RawOutcome<T> {
+            catch_unwind(AssertUnwindSafe(move || {
+                fault::fire_panic("ivm::pool_dispatch");
+                task()
+            }))
+        };
+        let n = tasks.len();
+        let inline = |tasks: Vec<Box<dyn FnOnce() -> T + Send>>| {
+            Ok(tasks.into_iter().map(execute).collect())
+        };
+        let Some(tx) = &self.tx else {
+            return inline(tasks);
+        };
+        if n <= 1 {
+            return inline(tasks);
+        }
+        self.ensure_workers();
+        let (rtx, rrx) = channel::<(usize, RawOutcome<T>)>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let rtx = rtx.clone();
+            tx.send(Box::new(move || {
+                let _ = rtx.send((i, execute(task)));
+            }))
+            .map_err(|_| {
+                IvmError::Internal("pipeline pool job channel closed".into())
+            })?;
+        }
+        drop(rtx);
+        let mut slots: Vec<Option<RawOutcome<T>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, outcome) = rrx.recv().map_err(|_| {
+                IvmError::Internal(
+                    "pipeline worker disconnected before reporting its task".into(),
+                )
+            })?;
+            slots[i] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.ok_or_else(|| IvmError::Internal("pipeline task slot unfilled".into())))
+            .collect()
+    }
 }
 
 impl Drop for PipelinePool {
     fn drop(&mut self) {
         self.tx.take(); // closes the channel; workers drain and exit
-        for w in self.workers.drain(..) {
+        self.rx.take();
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for w in workers.drain(..) {
             let _ = w.join();
         }
     }
@@ -215,7 +316,12 @@ impl SharedDeltaCache {
 
     /// The cached delta for a chain, if another engine propagated it.
     pub fn get(&self, fp: &ChainFingerprint) -> Option<Delta> {
-        let found = self.map.lock().expect("cache lock").get(fp).cloned();
+        let found = self
+            .map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(fp)
+            .cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -226,7 +332,10 @@ impl SharedDeltaCache {
     /// Record a propagated delta for a chain. Concurrent inserts of the
     /// same chain are idempotent (purity: equal chains → equal deltas).
     pub fn put(&self, fp: ChainFingerprint, delta: Delta) {
-        self.map.lock().expect("cache lock").insert(fp, delta);
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(fp, delta);
     }
 
     /// (hits, misses) since creation.
@@ -281,6 +390,29 @@ mod tests {
         let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
             vec![Box::new(|| 7), Box::new(|| 8)];
         assert_eq!(pool.run(tasks), vec![7, 8]);
+    }
+
+    #[test]
+    fn run_outcomes_contains_panics_at_every_width() {
+        for width in [1usize, 2, 4] {
+            let pool = PipelinePool::new(width);
+            let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+                Box::new(|| 1),
+                Box::new(|| panic!("boom at width")),
+                Box::new(|| 3),
+            ];
+            let got = pool.run_outcomes(tasks).expect("pool dispatch healthy");
+            assert_eq!(got[0], Ok(1));
+            assert_eq!(got[1], Err("boom at width".to_string()));
+            assert_eq!(got[2], Ok(3));
+            // The pool still works afterwards.
+            let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+                vec![Box::new(|| 7), Box::new(|| 8)];
+            assert_eq!(
+                pool.run_outcomes(tasks).expect("pool dispatch healthy"),
+                vec![Ok(7), Ok(8)]
+            );
+        }
     }
 
     #[test]

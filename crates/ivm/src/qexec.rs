@@ -40,8 +40,8 @@ impl Clone for PlanCache {
     // Manual because `Mutex` is not `Clone`: snapshot the cached decisions.
     fn clone(&self) -> Self {
         PlanCache {
-            bound: Mutex::new(self.bound.lock().expect("not poisoned").clone()),
-            full: Mutex::new(self.full.lock().expect("not poisoned").clone()),
+            bound: Mutex::new(self.bound.lock().unwrap_or_else(|e| e.into_inner()).clone()),
+            full: Mutex::new(self.full.lock().unwrap_or_else(|e| e.into_inner()).clone()),
         }
     }
 }
@@ -49,8 +49,8 @@ impl Clone for PlanCache {
 impl PlanCache {
     /// Drop every cached decision (call after `analyze()` changes stats).
     pub fn clear(&self) {
-        self.bound.lock().expect("not poisoned").clear();
-        self.full.lock().expect("not poisoned").clear();
+        self.bound.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.full.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 
@@ -157,7 +157,7 @@ impl<'a> QueryExec<'a> {
     /// is attached.
     fn best_query_op(&self, g: GroupId, cols: &[usize], ctx: &mut CostCtx<'_>) -> Option<OpId> {
         if let Some(pc) = self.plans {
-            let cache = pc.bound.lock().expect("not poisoned");
+            let cache = pc.bound.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(&choice) = cache.get(&(g, cols.to_vec())) {
                 return choice;
             }
@@ -173,7 +173,7 @@ impl<'a> QueryExec<'a> {
         if let Some(pc) = self.plans {
             pc.bound
                 .lock()
-                .expect("not poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .insert((g, cols.to_vec()), choice);
         }
         choice
@@ -210,12 +210,8 @@ impl<'a> QueryExec<'a> {
             Some((idx, false)) => Ok(t.relation.lookup(idx, key, io)),
             // Same column set, different order: permute the key once.
             Some((idx, true)) => {
-                let probe: Vec<Value> = t
-                    .relation
-                    .index_key_cols(idx)
-                    .iter()
-                    .map(|c| key[cols.iter().position(|x| x == c).expect("subset")].clone())
-                    .collect();
+                let remap = index_key_remap(&t.relation, idx, cols)?;
+                let probe: Vec<Value> = remap.iter().map(|&i| key[i].clone()).collect();
                 Ok(t.relation.lookup(idx, &probe, io))
             }
             // Fallback: scan and filter (charged as a scan).
@@ -245,12 +241,7 @@ impl<'a> QueryExec<'a> {
             }
             Some((idx, true)) => {
                 // Compute the key permutation once for the whole batch.
-                let remap: Vec<usize> = t
-                    .relation
-                    .index_key_cols(idx)
-                    .iter()
-                    .map(|c| cols.iter().position(|x| x == c).expect("subset"))
-                    .collect();
+                let remap = index_key_remap(&t.relation, idx, cols)?;
                 let mut probe = Vec::with_capacity(remap.len());
                 for key in keys {
                     probe.clear();
@@ -405,7 +396,7 @@ impl<'a> QueryExec<'a> {
     /// [`PlanCache`] is attached.
     fn best_full_op(&self, g: GroupId, ctx: &mut CostCtx<'_>) -> Option<OpId> {
         if let Some(pc) = self.plans {
-            let cache = pc.full.lock().expect("not poisoned");
+            let cache = pc.full.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(&choice) = cache.get(&g) {
                 return choice;
             }
@@ -424,7 +415,7 @@ impl<'a> QueryExec<'a> {
         }
         let choice = best.map(|(_, op)| op);
         if let Some(pc) = self.plans {
-            pc.full.lock().expect("not poisoned").insert(g, choice);
+            pc.full.lock().unwrap_or_else(|e| e.into_inner()).insert(g, choice);
         }
         choice
     }
@@ -474,6 +465,27 @@ impl<'a> QueryExec<'a> {
             }
         }
     }
+}
+
+/// The positions in `cols` of each of index `idx`'s key columns. An exact
+/// index's key columns are a permutation of `cols` by definition; a
+/// mismatch is an index-bookkeeping bug surfaced as a typed error rather
+/// than an indexing panic.
+fn index_key_remap(
+    rel: &spacetime_storage::Relation,
+    idx: usize,
+    cols: &[usize],
+) -> StorageResult<Vec<usize>> {
+    rel.index_key_cols(idx)
+        .iter()
+        .map(|c| {
+            cols.iter().position(|x| x == c).ok_or_else(|| {
+                spacetime_storage::StorageError::Internal(
+                    "exact index key columns not a permutation of the probe columns".into(),
+                )
+            })
+        })
+        .collect()
 }
 
 /// Keep tuples whose `cols` equal `key`.

@@ -1,0 +1,163 @@
+//! All-or-nothing multi-relation transactions.
+//!
+//! `apply_transaction` checks assertions in immediate mode (per update,
+//! SQL-92's default), so a violation can surface at update *k* with
+//! updates `1..k` already committed. The transaction contract is still
+//! atomic: the earlier updates must be undone and the catalog must be
+//! bit-identical to its pre-transaction state.
+
+use std::sync::Arc;
+
+use spacetime_delta::Delta;
+use spacetime_ivm::{
+    verify_all_views, Database, ExecutionMode, IvmError, PipelinePool,
+};
+use spacetime_storage::{tuple, Bag, IoMeter};
+
+/// A small paper-shaped database: 5 departments x 3 employees, budget 600,
+/// salary 100 each, with the paper's DeptConstraint assertion and one
+/// extra view so several engines depend on the updated relations.
+fn small_db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE Emp (EName VARCHAR PRIMARY KEY, DName VARCHAR, Salary INTEGER);
+         CREATE TABLE Dept (DName VARCHAR PRIMARY KEY, MName VARCHAR, Budget INTEGER);
+         CREATE INDEX ON Emp (DName);",
+    )
+    .unwrap();
+    let mut io = IoMeter::new();
+    for d in 0..5 {
+        let dname = format!("dept{d}");
+        db.catalog
+            .table_mut("Dept")
+            .unwrap()
+            .relation
+            .insert(tuple![dname.clone(), format!("mgr{d}"), 600_i64], 1, &mut io)
+            .unwrap();
+        for e in 0..3 {
+            db.catalog
+                .table_mut("Emp")
+                .unwrap()
+                .relation
+                .insert(tuple![format!("emp{d}_{e}"), dname.clone(), 100_i64], 1, &mut io)
+                .unwrap();
+        }
+    }
+    db.catalog.table_mut("Emp").unwrap().analyze();
+    db.catalog.table_mut("Dept").unwrap().analyze();
+    db.execute_sql(
+        "CREATE MATERIALIZED VIEW DeptProfile AS \
+         SELECT DName, COUNT(*) AS Heads, MAX(Salary) AS TopSal \
+         FROM Emp GROUP BY DName",
+    )
+    .unwrap();
+    db.execute_sql(
+        "CREATE ASSERTION DeptConstraint CHECK (NOT EXISTS ( \
+            SELECT Dept.DName FROM Emp, Dept \
+            WHERE Dept.DName = Emp.DName \
+            GROUP BY Dept.DName, Budget \
+            HAVING SUM(Salary) > Budget))",
+    )
+    .unwrap();
+    db
+}
+
+/// Every table's contents, for bit-identity comparison.
+fn contents(db: &Database) -> Vec<(String, Bag)> {
+    db.catalog
+        .iter()
+        .map(|(n, t)| (n.to_string(), t.relation.data().clone()))
+        .collect()
+}
+
+/// The transaction under test: a harmless budget cut on dept0, then a
+/// salary raise that pushes dept1 over its budget. Only the *second*
+/// update violates DeptConstraint; the first commits before the violation
+/// is detected and must be rolled back with it.
+fn violating_txn() -> Vec<(String, Delta)> {
+    vec![
+        (
+            "Dept".to_string(),
+            Delta::modify(
+                tuple!["dept0", "mgr0", 600],
+                tuple!["dept0", "mgr0", 550],
+                1,
+            ),
+        ),
+        (
+            "Emp".to_string(),
+            Delta::modify(
+                tuple!["emp1_0", "dept1", 100],
+                tuple!["emp1_0", "dept1", 9_999],
+                1,
+            ),
+        ),
+    ]
+}
+
+fn assert_txn_atomicity(mut db: Database) {
+    let before = contents(&db);
+    let err = db.apply_transaction(violating_txn()).unwrap_err();
+    assert!(
+        matches!(&err, IvmError::AssertionViolated { name, .. } if name == "DeptConstraint"),
+        "{err}"
+    );
+    // The whole transaction never happened: the first (non-violating)
+    // update was undone along with the rejected one.
+    assert_eq!(contents(&db), before, "catalog changed by a failed txn");
+    assert!(verify_all_views(&db).unwrap().is_empty());
+    assert!(db.check_assertions().unwrap().is_empty());
+    db.integrity_check().unwrap();
+    // The same transaction minus the violation goes through afterwards.
+    let mut ok_txn = violating_txn();
+    ok_txn[1].1 = Delta::modify(
+        tuple!["emp1_0", "dept1", 100],
+        tuple!["emp1_0", "dept1", 120],
+        1,
+    );
+    db.apply_transaction(ok_txn).unwrap();
+    assert!(db
+        .catalog
+        .table("Dept")
+        .unwrap()
+        .relation
+        .data()
+        .contains(&tuple!["dept0", "mgr0", 550]));
+    assert!(verify_all_views(&db).unwrap().is_empty());
+}
+
+#[test]
+fn mid_transaction_violation_rolls_back_earlier_updates() {
+    assert_txn_atomicity(small_db());
+}
+
+#[test]
+fn mid_transaction_violation_rolls_back_under_parallel_execution() {
+    for threads in [1, 2, 4] {
+        let mut db = small_db();
+        db.set_execution_mode(ExecutionMode::Parallel);
+        db.set_pipeline_pool(Arc::new(PipelinePool::new(threads)));
+        assert_txn_atomicity(db);
+    }
+}
+
+#[test]
+fn single_delta_violation_leaves_catalog_untouched() {
+    // The pre-existing gate (reject before any write) still holds for a
+    // one-update transaction through the staged-commit path.
+    let mut db = small_db();
+    let before = contents(&db);
+    let err = db
+        .apply_delta(
+            "Emp",
+            Delta::modify(
+                tuple!["emp2_1", "dept2", 100],
+                tuple!["emp2_1", "dept2", 9_999],
+                1,
+            ),
+        )
+        .unwrap_err();
+    assert!(matches!(err, IvmError::AssertionViolated { .. }), "{err}");
+    assert_eq!(contents(&db), before);
+    db.integrity_check().unwrap();
+}

@@ -84,16 +84,51 @@ impl Catalog {
     /// Detach a table from the catalog, returning its shared handle. Used
     /// by the parallel commit path to hand disjoint tables to worker
     /// threads; pair with [`Catalog::restore_table`]. While detached, the
-    /// table is absent from lookups.
+    /// table is absent from lookups. Fires the `storage::take_table`
+    /// failpoint *before* detaching, so an injected failure here leaves
+    /// the catalog untouched.
     pub fn take_table(&mut self, name: &str) -> StorageResult<Arc<Table>> {
+        crate::fault::fire("storage::take_table")?;
         self.tables
             .remove(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
     /// Re-attach a table previously removed with [`Catalog::take_table`].
+    /// Infallible by design: rollback paths depend on re-attachment never
+    /// failing (a rollback that can itself fail leaves a torn catalog).
     pub fn restore_table(&mut self, name: impl Into<String>, table: Arc<Table>) {
         self.tables.insert(name.into(), table);
+    }
+
+    /// The shared handle of a table (an `Arc` clone, no data copy). The
+    /// staged-commit protocol starts from this handle and mutates a
+    /// copy-on-write duplicate, leaving the cataloged original pristine
+    /// until [`Catalog::restore_tables`] swaps the copy in.
+    pub fn table_arc(&self, name: &str) -> StorageResult<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// The commit point of the staged-commit protocol: atomically swap a
+    /// batch of staged tables into the catalog. The `storage::restore_table`
+    /// failpoint fires once per staged table *before any insertion*, so an
+    /// injected failure aborts the whole swap with the catalog unchanged;
+    /// past that gate the swap is pure `BTreeMap` inserts and cannot fail.
+    pub fn restore_tables(
+        &mut self,
+        tables: impl IntoIterator<Item = (String, Arc<Table>)>,
+    ) -> StorageResult<()> {
+        let tables: Vec<(String, Arc<Table>)> = tables.into_iter().collect();
+        for _ in &tables {
+            crate::fault::fire("storage::restore_table")?;
+        }
+        for (name, table) in tables {
+            self.tables.insert(name, table);
+        }
+        Ok(())
     }
 
     /// Register a base table.
@@ -338,6 +373,21 @@ mod tests {
         cat.restore_table("Dept", t);
         assert!(cat.table("Dept").is_ok());
         assert_eq!(cat.table("Dept").unwrap().keys, vec![vec![0]]);
+    }
+
+    #[test]
+    fn restore_tables_swaps_a_batch() {
+        let mut cat = demo();
+        let mut io = IoMeter::new();
+        let mut staged = cat.table_arc("Dept").unwrap();
+        Arc::make_mut(&mut staged)
+            .relation
+            .insert(tuple!["Sales", "mary", 500], 1, &mut io)
+            .unwrap();
+        // The cataloged original is untouched until the swap.
+        assert_eq!(cat.table("Dept").unwrap().relation.len(), 0);
+        cat.restore_tables([("Dept".to_string(), staged)]).unwrap();
+        assert_eq!(cat.table("Dept").unwrap().relation.len(), 1);
     }
 
     #[test]

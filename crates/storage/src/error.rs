@@ -39,6 +39,16 @@ pub enum StorageError {
     TypeError(String),
     /// An index was requested on columns outside the schema.
     BadIndexColumns(String),
+    /// A fault-injection site fired (`failpoints` feature; see the
+    /// `fault` module). Never produced in production builds.
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: String,
+    },
+    /// An internal invariant did not hold (a bug, not a user error) —
+    /// surfaced as a typed error instead of a runtime-path panic so one
+    /// broken invariant cannot poison the whole database.
+    Internal(String),
 }
 
 impl fmt::Display for StorageError {
@@ -56,6 +66,10 @@ impl fmt::Display for StorageError {
             }
             StorageError::TypeError(msg) => write!(f, "type error: {msg}"),
             StorageError::BadIndexColumns(msg) => write!(f, "bad index columns: {msg}"),
+            StorageError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
+            StorageError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

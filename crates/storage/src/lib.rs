@@ -26,10 +26,13 @@
 //! * [`catalog`] — the database catalog ([`Catalog`], [`Table`]): schemas,
 //!   data, statistics, keys and indices by table name.
 //! * [`error`] — the crate-wide error type ([`StorageError`]).
+//! * [`fault`] — deterministic fault injection (failpoints), compiled to
+//!   no-ops unless the `failpoints` feature is enabled.
 
 pub mod bag;
 pub mod catalog;
 pub mod error;
+pub mod fault;
 pub mod index;
 pub mod io;
 pub mod relation;
