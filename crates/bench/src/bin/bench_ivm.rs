@@ -30,6 +30,7 @@ use spacetime_cost::TransactionType;
 use spacetime_ivm::{
     verify_all_views, Database, ExecutionMode, PipelinePool, PropagationMode, ViewSelection,
 };
+use spacetime_obs::quantile_sorted;
 
 const SEED: u64 = 9406; // SIGMOD '96
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -47,17 +48,34 @@ struct ModeRun {
     wall: Duration,
     io_total: u64,
     paper_cost: u64,
+    queries_posed: u64,
+    /// Per-transaction wall clock, for exact latency percentiles.
+    latencies_ns: Vec<u64>,
 }
 
 impl ModeRun {
     fn txns_per_sec(&self, n: usize) -> f64 {
         n as f64 / self.wall.as_secs_f64()
     }
+
+    /// Exact nearest-rank (p50, p95, p99, max) over the recorded
+    /// per-transaction latencies.
+    fn latency_quantiles_ns(&self) -> (u64, u64, u64, u64) {
+        let mut v = self.latencies_ns.clone();
+        v.sort_unstable();
+        (
+            quantile_sorted(&v, 0.50),
+            quantile_sorted(&v, 0.95),
+            quantile_sorted(&v, 0.99),
+            v.last().copied().unwrap_or(0),
+        )
+    }
 }
 
 struct SweepPoint {
     threads: usize,
     wall: Duration,
+    queries_posed: u64,
 }
 
 struct Measured {
@@ -142,18 +160,26 @@ fn run_scenario(s: Scenario) -> Measured {
         wall: Duration::ZERO,
         io_total: 0,
         paper_cost: 0,
+        queries_posed: 0,
+        latencies_ns: Vec::new(),
     };
     let (mut pk, mut ba, mut par) = (zero(), zero(), zero());
     for (table, delta) in &workload {
         let t0 = Instant::now();
         let r_pk = db_pk.apply_delta(table, delta.clone()).expect("per-key");
-        pk.wall += t0.elapsed();
+        let dt = t0.elapsed();
+        pk.wall += dt;
+        pk.latencies_ns.push(dt.as_nanos() as u64);
         let t0 = Instant::now();
         let r_b = db_b.apply_delta(table, delta.clone()).expect("batched");
-        ba.wall += t0.elapsed();
+        let dt = t0.elapsed();
+        ba.wall += dt;
+        ba.latencies_ns.push(dt.as_nanos() as u64);
         let t0 = Instant::now();
         let r_par = db_par.apply_delta(table, delta.clone()).expect("parallel");
-        par.wall += t0.elapsed();
+        let dt = t0.elapsed();
+        par.wall += dt;
+        par.latencies_ns.push(dt.as_nanos() as u64);
         // The invariant: neither batching nor the pipeline may change the
         // charged I/O or the posed-query count.
         assert_eq!(
@@ -167,10 +193,13 @@ fn run_scenario(s: Scenario) -> Measured {
         reports_identical &= r_pk == r_b && r_b == r_par;
         pk.io_total += r_pk.total();
         pk.paper_cost += r_pk.paper_cost();
+        pk.queries_posed += r_pk.queries_posed;
         ba.io_total += r_b.total();
         ba.paper_cost += r_b.paper_cost();
+        ba.queries_posed += r_b.queries_posed;
         par.io_total += r_par.total();
         par.paper_cost += r_par.paper_cost();
+        par.queries_posed += r_par.queries_posed;
     }
 
     // Final state: every materialized table bit-identical across modes.
@@ -200,9 +229,11 @@ fn run_scenario(s: Scenario) -> Measured {
             let mut db = build_db(&s, PropagationMode::Batched);
             db.set_execution_mode(ExecutionMode::Parallel);
             db.set_pipeline_pool(Arc::new(PipelinePool::new(threads)));
+            let mut queries_posed = 0u64;
             let t0 = Instant::now();
             for (table, delta) in &workload {
-                db.apply_delta(table, delta.clone()).expect("sweep");
+                let r = db.apply_delta(table, delta.clone()).expect("sweep");
+                queries_posed += r.queries_posed;
             }
             let wall = t0.elapsed();
             eprintln!(
@@ -210,7 +241,11 @@ fn run_scenario(s: Scenario) -> Measured {
                 wall.as_secs_f64(),
                 s.transactions as f64 / wall.as_secs_f64()
             );
-            thread_scaling.push(SweepPoint { threads, wall });
+            thread_scaling.push(SweepPoint {
+                threads,
+                wall,
+                queries_posed,
+            });
         }
     }
 
@@ -326,11 +361,17 @@ fn main() {
             ("batched", &m.batched),
             ("parallel", &m.parallel),
         ] {
+            let (p50, p95, p99, max) = run.latency_quantiles_ns();
             let _ = writeln!(json, "      \"{label}\": {{");
             let _ = writeln!(json, "        \"wall_s\": {:.6},", run.wall.as_secs_f64());
             let _ = writeln!(json, "        \"txns_per_sec\": {:.1},", run.txns_per_sec(n));
             let _ = writeln!(json, "        \"io_total\": {},", run.io_total);
-            let _ = writeln!(json, "        \"paper_cost_io\": {}", run.paper_cost);
+            let _ = writeln!(json, "        \"paper_cost_io\": {},", run.paper_cost);
+            let _ = writeln!(json, "        \"queries_posed\": {},", run.queries_posed);
+            let _ = writeln!(
+                json,
+                "        \"latency_ns\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max} }}"
+            );
             json.push_str("      },\n");
         }
         let _ = writeln!(
@@ -371,9 +412,82 @@ fn main() {
             "    },\n"
         });
     }
-    json.push_str("  ]\n");
-    json.push_str("}\n");
+    json.push_str("  ],\n");
+
+    // Process-wide metrics: empty (and `metrics_recorded: false`) in the
+    // default build, fully populated under `--features metrics`. CI greps
+    // both states.
+    let expected_queries_posed: u64 = measured
+        .iter()
+        .map(|m| {
+            m.per_key.queries_posed
+                + m.batched.queries_posed
+                + m.parallel.queries_posed
+                + m.thread_scaling
+                    .iter()
+                    .map(|p| p.queries_posed)
+                    .sum::<u64>()
+        })
+        .sum();
+    let snap = spacetime_obs::snapshot();
+    #[cfg(feature = "metrics")]
+    assert_metrics_consistent(&snap, expected_queries_posed);
+    let _ = expected_queries_posed;
+    let _ = writeln!(
+        json,
+        "  \"metrics_recorded\": {},",
+        spacetime_obs::compiled()
+    );
+    json.push_str("  \"metrics\": ");
+    json.push_str(&snap.render_json());
+    json.push_str("\n}\n");
 
     std::fs::write("BENCH_ivm.json", &json).expect("write BENCH_ivm.json");
     println!("wrote BENCH_ivm.json");
+}
+
+/// Internal-consistency checks over the recorded metrics (CI's
+/// metrics-smoke job): every cache's hit/miss split sums to its lookups,
+/// and the global posed-query counter agrees exactly with the
+/// `UpdateReport` totals accumulated by the measured loops (every
+/// `apply_delta` in this binary flows through them; data loading writes
+/// relations directly).
+#[cfg(feature = "metrics")]
+fn assert_metrics_consistent(snap: &spacetime_obs::MetricsSnapshot, expected_queries_posed: u64) {
+    use spacetime_obs::names as metric;
+    for (lookups, hits, misses) in [
+        (
+            metric::PLAN_CACHE_LOOKUPS,
+            metric::PLAN_CACHE_HITS,
+            metric::PLAN_CACHE_MISSES,
+        ),
+        (
+            metric::DELTA_CACHE_LOOKUPS,
+            metric::DELTA_CACHE_HITS,
+            metric::DELTA_CACHE_MISSES,
+        ),
+        (
+            metric::QUERY_CACHE_LOOKUPS,
+            metric::QUERY_CACHE_HITS,
+            metric::QUERY_CACHE_MISSES,
+        ),
+    ] {
+        assert_eq!(
+            snap.counter(hits) + snap.counter(misses),
+            snap.counter(lookups),
+            "cache series {lookups} inconsistent"
+        );
+    }
+    assert_eq!(
+        snap.counter(metric::QUERIES_POSED),
+        expected_queries_posed,
+        "queries_posed counter disagrees with the UpdateReport totals"
+    );
+    assert!(snap.counter(metric::UPDATES_APPLIED) > 0);
+    assert!(snap.counter(metric::POOL_TASKS) > 0, "pool tasks recorded");
+    let latency = snap
+        .histogram(metric::UPDATE_LATENCY_NS)
+        .expect("update latency histogram recorded");
+    assert!(latency.count > 0);
+    eprintln!("metrics consistency: ok");
 }

@@ -164,8 +164,18 @@ fn main() {
         let _ = writeln!(json, "      \"sets_pruned\": {},", m.outcome.sets_pruned);
         let _ = writeln!(
             json,
-            "      \"tracks_truncated\": {}",
+            "      \"tracks_truncated\": {},",
             m.outcome.tracks_truncated
+        );
+        let _ = writeln!(
+            json,
+            "      \"query_cache_hits\": {},",
+            m.outcome.query_cache_hits
+        );
+        let _ = writeln!(
+            json,
+            "      \"query_cache_misses\": {}",
+            m.outcome.query_cache_misses
         );
         json.push_str(if i + 1 == measured.len() {
             "    }\n"
@@ -173,8 +183,17 @@ fn main() {
             "    },\n"
         });
     }
-    json.push_str("  ]\n");
-    json.push_str("}\n");
+    json.push_str("  ],\n");
+    // Search-progress metrics (sets considered/pruned, shared-cache
+    // series, incumbent cost); empty in default builds.
+    let _ = writeln!(
+        json,
+        "  \"metrics_recorded\": {},",
+        spacetime_obs::compiled()
+    );
+    json.push_str("  \"metrics\": ");
+    json.push_str(&spacetime_obs::snapshot().render_json());
+    json.push_str("\n}\n");
 
     std::fs::write("BENCH_optimizer.json", &json).expect("write BENCH_optimizer.json");
     println!("wrote BENCH_optimizer.json");

@@ -3,6 +3,13 @@
 //! **bit-identical** per-transaction reports (charged I/O and posed-query
 //! counts included), identical materialized contents (auxiliaries too),
 //! and views that verify against recomputation — at any thread count.
+//!
+//! Tracing runs enabled on both databases throughout, which checks two
+//! more properties per transaction: recording a trace never perturbs the
+//! maintained state, and the trace's *structural* content (tracks, ops,
+//! posed queries, delta sizes, commit targets — everything except
+//! wall-clock durations and cache notes) is identical between Sequential
+//! and Parallel execution at every pool width.
 
 use std::sync::Arc;
 
@@ -83,6 +90,8 @@ fn assert_pipeline_identical(
 ) {
     let mut seq = build_db(departments, emps_per_dept);
     let mut par = build_db(departments, emps_per_dept);
+    seq.set_tracing(true);
+    par.set_tracing(true);
     par.set_execution_mode(ExecutionMode::Parallel);
     par.set_pipeline_pool(Arc::new(PipelinePool::new(threads)));
     for (i, (table, delta)) in mixed_workload(departments, emps_per_dept, txns, seed)
@@ -95,6 +104,20 @@ fn assert_pipeline_identical(
             r_seq, r_par,
             "txn {i}: report diverged (I/O or posed queries) at {threads} threads"
         );
+        match (seq.last_trace(), par.last_trace()) {
+            (Some(a), Some(b)) => assert!(
+                a.structural_eq(b),
+                "txn {i}: trace structure diverged at {threads} threads\n\
+                 --- sequential\n{}\n--- parallel\n{}",
+                a.structure_json(),
+                b.structure_json()
+            ),
+            (a, b) => assert_eq!(
+                a.is_some(),
+                b.is_some(),
+                "txn {i}: only one mode recorded a trace at {threads} threads"
+            ),
+        }
     }
     for name in materialized_tables(&seq) {
         assert_eq!(

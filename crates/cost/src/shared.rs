@@ -1,21 +1,31 @@
 //! A query-cost cache shared across optimizer worker threads.
 //!
-//! The view-set search prices the same posed queries under the same
-//! markings over and over: two view sets that agree on the part of the DAG
-//! a query's plan touches produce identical `(group, binding, marking)`
-//! keys. A single process-wide cache lets every worker reuse every other
-//! worker's pricing work. The map is sharded by key hash so concurrent
-//! lookups rarely contend on the same lock.
+//! Entries are keyed by `(canonical group, binding columns, marking
+//! hash)`; any context that prices the same posed query under the same
+//! marking can reuse another's work. The map is sharded by key hash so
+//! concurrent lookups rarely contend on the same lock.
 //!
 //! Correctness note: a cached entry is keyed by the *full* marking hash, so
-//! sharing across view sets never changes a result — it only skips a
-//! recomputation that would have produced the identical `Cost`.
+//! sharing never changes a result — it only skips a recomputation that
+//! would have produced the identical `Cost`.
+//!
+//! Effectiveness note, courtesy of the [`stats`](SharedQueryCache::stats)
+//! counters: because the key hashes the *entire* marking, two distinct
+//! view sets never collide, and the exhaustive search hands each view set
+//! to exactly one worker (whose per-context local cache absorbs repeats).
+//! Cross-worker hits therefore measure ~0 in `search_view_sets` today —
+//! the cache pays off only when the same marking is priced from separate
+//! contexts. Narrowing the key to the marking slice a query's plan can
+//! actually reach would unlock cross-set sharing; that is future work and
+//! must not change priced results.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use spacetime_memo::GroupId;
+use spacetime_obs::names as metric;
 
 use crate::model::Cost;
 
@@ -24,11 +34,17 @@ pub type QueryKey = (GroupId, Vec<usize>, u64);
 
 const DEFAULT_SHARDS: usize = 16;
 
+struct Inner {
+    shards: Vec<RwLock<HashMap<QueryKey, Cost>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// Sharded, thread-safe query-cost cache. Cloning is cheap (`Arc`); clones
-/// share the same underlying shards.
+/// share the same underlying shards and hit/miss accounting.
 #[derive(Clone)]
 pub struct SharedQueryCache {
-    shards: Arc<Vec<RwLock<HashMap<QueryKey, Cost>>>>,
+    inner: Arc<Inner>,
 }
 
 impl Default for SharedQueryCache {
@@ -47,23 +63,38 @@ impl SharedQueryCache {
     pub fn with_shards(shards: usize) -> Self {
         let shards = shards.max(1);
         SharedQueryCache {
-            shards: Arc::new((0..shards).map(|_| RwLock::new(HashMap::new())).collect()),
+            inner: Arc::new(Inner {
+                shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
         }
     }
 
     fn shard(&self, key: &QueryKey) -> &RwLock<HashMap<QueryKey, Cost>> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        &self.inner.shards[(h.finish() as usize) % self.inner.shards.len()]
     }
 
-    /// Look up a priced query. Lock poisoning (a panicking writer) is
-    /// treated as a miss rather than propagated.
+    /// Look up a priced query, counting the probe as a hit or miss. Lock
+    /// poisoning (a panicking writer) is treated as a miss rather than
+    /// propagated.
     pub fn get(&self, key: &QueryKey) -> Option<Cost> {
-        self.shard(key)
+        let found = self
+            .shard(key)
             .read()
             .ok()
-            .and_then(|m| m.get(key).copied())
+            .and_then(|m| m.get(key).copied());
+        spacetime_obs::counter_add(metric::QUERY_CACHE_LOOKUPS, 1);
+        if found.is_some() {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            spacetime_obs::counter_add(metric::QUERY_CACHE_HITS, 1);
+        } else {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+            spacetime_obs::counter_add(metric::QUERY_CACHE_MISSES, 1);
+        }
+        found
     }
 
     /// Record a priced query.
@@ -73,9 +104,19 @@ impl SharedQueryCache {
         }
     }
 
+    /// `(hits, misses)` across every clone since creation. Lookups are
+    /// `hits + misses` by construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.inner.hits.load(Ordering::Relaxed),
+            self.inner.misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// Total cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
+        self.inner
+            .shards
             .iter()
             .map(|s| s.read().map(|m| m.len()).unwrap_or(0))
             .sum()
@@ -99,6 +140,7 @@ mod tests {
         cache.insert(key.clone(), Cost(11.0));
         assert_eq!(cache.get(&key), Some(Cost(11.0)));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), (1, 1));
     }
 
     #[test]
@@ -107,6 +149,7 @@ mod tests {
         let b = a.clone();
         a.insert((GroupId(1), vec![], 7), Cost(2.0));
         assert_eq!(b.get(&(GroupId(1), vec![], 7)), Some(Cost(2.0)));
+        assert_eq!(a.stats(), (1, 0));
     }
 
     #[test]
@@ -123,5 +166,23 @@ mod tests {
             }
         });
         assert_eq!(cache.len(), 400);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses_across_threads() {
+        let cache = SharedQueryCache::new();
+        cache.insert((GroupId(0), vec![], 0), Cost(1.0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        cache.get(&(GroupId(0), vec![], 0));
+                        cache.get(&(GroupId(999), vec![], i));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats(), (200, 200));
     }
 }

@@ -17,6 +17,7 @@ use spacetime_delta::Delta;
 use spacetime_memo::{explore, Memo};
 use spacetime_optimizer::heuristics::rule_of_thumb_optimize;
 use spacetime_optimizer::{greedy_add, optimal_view_set, shielding_optimize, EvalConfig, ViewSet};
+use spacetime_obs::{self as obs, names as metric, MetricsSnapshot, TraceNode};
 use spacetime_sql::{lower::lower_literal_row, lower_select, parse_statements, Statement};
 use spacetime_storage::{Bag, Catalog, Column, IoMeter, Schema, Table, Tuple, Value};
 
@@ -74,6 +75,8 @@ pub struct Database {
     mode: PropagationMode,
     exec: ExecutionMode,
     pool: Option<Arc<PipelinePool>>,
+    tracing: bool,
+    last_trace: Option<TraceNode>,
     /// Accumulated maintenance reports (for benchmarking).
     pub last_report: Option<UpdateReport>,
 }
@@ -96,8 +99,46 @@ impl Database {
             mode: PropagationMode::default(),
             exec: ExecutionMode::default(),
             pool: None,
+            tracing: false,
+            last_trace: None,
             last_report: None,
         }
+    }
+
+    /// Turn propagation tracing on or off. While on, every
+    /// [`Database::apply_delta`] / [`Database::apply_transaction`] records
+    /// an `EXPLAIN ANALYZE`-style span tree, retrievable with
+    /// [`Database::last_trace`]. Tracing does extra bookkeeping (probes and
+    /// clock reads) but never changes deltas, reports, or view contents,
+    /// and the recorded *structure* is identical across execution modes —
+    /// only wall-clock durations and cache notes differ.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.last_trace = None;
+        }
+    }
+
+    /// Whether propagation tracing is on.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// The trace recorded by the most recent successful
+    /// [`Database::apply_delta`] / [`Database::apply_transaction`], if
+    /// tracing is on. Render it with [`TraceNode::render_text`] (the
+    /// `EXPLAIN ANALYZE` tree) or [`TraceNode::render_json`].
+    pub fn last_trace(&self) -> Option<&TraceNode> {
+        self.last_trace.as_ref()
+    }
+
+    /// A snapshot of the process-wide metrics registry: pool, cache,
+    /// track, and latency series accumulated across every database in the
+    /// process. Empty (all maps empty) in default builds — metrics only
+    /// record when the `metrics` cargo feature is enabled
+    /// ([`spacetime_obs::compiled`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        obs::snapshot()
     }
 
     /// Set the view-selection strategy for subsequently created views.
@@ -423,20 +464,34 @@ impl Database {
     /// dependent view and checking assertions *before* committing
     /// anything. Returns the combined maintenance report.
     pub fn apply_delta(&mut self, table: &str, delta: Delta) -> IvmResult<UpdateReport> {
+        if self.tracing {
+            // A failed or empty update leaves no trace behind; the prior
+            // trace never masquerades as this update's.
+            self.last_trace = None;
+        }
         if delta.is_empty() {
             return Ok(UpdateReport::default());
         }
+        obs::counter_add(metric::UPDATES_APPLIED, 1);
+        let update_watch = obs::stopwatch();
+        let t_plan = self.tracing.then(std::time::Instant::now);
         // Phase 1: plan against pre-update state.
-        let planned = match self.exec {
+        let mut planned = match self.exec {
             ExecutionMode::Sequential => {
+                let opts = PlanOptions {
+                    trace: self.tracing,
+                    ..PlanOptions::default()
+                };
                 let mut planned = Vec::with_capacity(self.engines.len());
                 for e in &self.engines {
-                    planned.push(e.plan_update(&self.catalog, table, &delta)?);
+                    planned.push(e.plan_update_with(&self.catalog, table, &delta, &opts)?);
                 }
                 planned
             }
             ExecutionMode::Parallel => self.plan_parallel(table, &delta)?,
         };
+        let plan_dur = t_plan.map(|t| t.elapsed());
+        let t_gate = self.tracing.then(std::time::Instant::now);
         // Assertion gate (always against pre-update state, whichever mode
         // planned — a violating transaction is rejected before any write).
         for a in &self.assertions {
@@ -460,6 +515,9 @@ impl Database {
         // state. Reports merge each engine's planning report with its
         // apply report in engine order (deterministic regardless of which
         // threads did the work).
+        let gate_dur = t_gate.map(|t| t.elapsed());
+        let commit_watch = obs::stopwatch();
+        let t_commit = self.tracing.then(std::time::Instant::now);
         let mut combined = UpdateReport::default();
         match self.exec {
             ExecutionMode::Sequential => {
@@ -474,8 +532,81 @@ impl Database {
                 self.commit_parallel(&pool, table, &delta, &planned, &mut combined)?
             }
         }
+        commit_watch.observe(metric::COMMIT_LATENCY_NS);
+        update_watch.observe(metric::UPDATE_LATENCY_NS);
+        if self.tracing {
+            let commit_dur = t_commit.map(|t| t.elapsed());
+            self.last_trace = Some(self.update_trace(
+                table,
+                &delta,
+                &mut planned,
+                plan_dur,
+                gate_dur,
+                commit_dur,
+            ));
+        }
         self.last_report = Some(combined.clone());
         Ok(combined)
+    }
+
+    /// Assemble the per-update trace tree from the engines' propagation
+    /// traces plus a deterministic commit section derived from `planned`
+    /// (never from which threads did the committing). Called only when
+    /// tracing is on, after a successful commit.
+    fn update_trace(
+        &self,
+        table: &str,
+        delta: &Delta,
+        planned: &mut [PlannedUpdate],
+        plan_dur: Option<std::time::Duration>,
+        gate_dur: Option<std::time::Duration>,
+        commit_dur: Option<std::time::Duration>,
+    ) -> TraceNode {
+        let mut root =
+            TraceNode::new(format!("update {table}")).with_field("rows", delta.size());
+        // Execution mode and phase timings are observations about *how* the
+        // update ran, not *what* it computed — non-structural by contract.
+        root.push_note(format!("exec={:?}", self.exec));
+        if let (Some(p), Some(g), Some(c)) = (plan_dur, gate_dur, commit_dur) {
+            root.push_note(format!(
+                "phases plan={}ns gate={}ns commit={}ns",
+                p.as_nanos(),
+                g.as_nanos(),
+                c.as_nanos()
+            ));
+            root.set_wall(p + g + c);
+        }
+        for plan in planned.iter_mut() {
+            if let Some(t) = plan.trace.take() {
+                root.push_child(t);
+            }
+        }
+        let mut commit = TraceNode::new("commit");
+        if let Some(c) = commit_dur {
+            commit.set_wall(c);
+        }
+        for (e, plan) in self.engines.iter().zip(planned.iter()) {
+            for (g, d) in &plan.view_deltas {
+                let name = e
+                    .materialized
+                    .get(g)
+                    .map(String::as_str)
+                    .unwrap_or("<unmaterialized>");
+                let kind = if e.roots.contains(g) { "view" } else { "aux" };
+                commit.push_child(
+                    TraceNode::new(format!("apply {name}"))
+                        .with_field("kind", kind)
+                        .with_field("rows", d.size()),
+                );
+            }
+        }
+        commit.push_child(
+            TraceNode::new(format!("apply {table}"))
+                .with_field("kind", "base")
+                .with_field("rows", delta.size()),
+        );
+        root.push_child(commit);
+        root
     }
 
     /// Sequential staged commit: stage every engine's view deltas and the
@@ -509,6 +640,7 @@ impl Database {
     fn plan_parallel(&self, table: &str, delta: &Delta) -> IvmResult<Vec<PlannedUpdate>> {
         let pool = self.pool();
         let level_parallel = pool.threads() > 1;
+        let trace = self.tracing;
         let shared = Arc::new(SharedDeltaCache::new());
         let snap = Arc::new(self.catalog.snapshot());
         let delta = Arc::new(delta.clone());
@@ -526,6 +658,7 @@ impl Database {
                     let opts = PlanOptions {
                         level_parallel,
                         shared: Some(&shared),
+                        trace,
                     };
                     (i, e.plan_update_with(&snap, &table, &delta, &opts))
                 }));
@@ -707,18 +840,40 @@ impl Database {
     pub fn apply_transaction(&mut self, updates: Vec<(String, Delta)>) -> IvmResult<UpdateReport> {
         let backup = self.catalog.clone();
         let prior_report = self.last_report.clone();
+        let prior_trace = self.last_trace.take();
+        let mut txn_trace = self
+            .tracing
+            .then(|| TraceNode::new("transaction").with_field("updates", updates.len()));
+        let t0 = self.tracing.then(std::time::Instant::now);
         let mut combined = UpdateReport::default();
         for (table, delta) in updates {
             match self.apply_delta(&table, delta) {
-                Ok(r) => combined.merge(&r),
+                Ok(r) => {
+                    combined.merge(&r);
+                    // Collect the per-update trace into the transaction
+                    // node (empty deltas record nothing — structurally the
+                    // same in every mode).
+                    if let Some(txn) = txn_trace.as_mut() {
+                        if let Some(t) = self.last_trace.take() {
+                            txn.push_child(t);
+                        }
+                    }
+                }
                 Err(e) => {
                     self.catalog = backup;
                     self.last_report = prior_report;
+                    self.last_trace = prior_trace;
                     return Err(e);
                 }
             }
         }
         self.last_report = Some(combined.clone());
+        if let Some(mut txn) = txn_trace {
+            if let Some(t0) = t0 {
+                txn.set_wall(t0.elapsed());
+            }
+            self.last_trace = Some(txn);
+        }
         Ok(combined)
     }
 

@@ -23,8 +23,11 @@ use spacetime_optimizer::tracks::UpdateTrack;
 use spacetime_optimizer::{EvalConfig, ViewSet};
 use spacetime_storage::{Bag, Catalog, IoMeter, StorageResult, Table, Value};
 
+use spacetime_obs::{self as obs, names as metric, TraceNode};
+
 use crate::pipeline::{ChainFingerprint, SharedDeltaCache};
 use crate::qexec::{filter_binding, PlanCache, QueryExec};
+use crate::trace::{GroupProbe, GroupRec, QueryRec};
 use crate::{IvmError, IvmResult};
 
 /// Which data plane [`IvmEngine::plan_update`] uses to answer the posed
@@ -131,6 +134,9 @@ pub struct PlannedUpdate {
     pub view_deltas: Vec<(GroupId, Delta)>,
     /// Report with `query_io` filled in.
     pub report: UpdateReport,
+    /// The propagation trace, when the plan was made with
+    /// [`PlanOptions::trace`] on (and the table has a track).
+    pub trace: Option<TraceNode>,
 }
 
 impl PlannedUpdate {
@@ -143,15 +149,19 @@ impl PlannedUpdate {
     }
 }
 
-/// Options for [`IvmEngine::plan_update_with`]. Both knobs are wall-clock
-/// optimizations only: they must not change the planned deltas, the
-/// report, or the posed-query count.
+/// Options for [`IvmEngine::plan_update_with`]. The execution knobs are
+/// wall-clock optimizations only: they must not change the planned deltas,
+/// the report, or the posed-query count.
 #[derive(Default)]
 pub struct PlanOptions<'s> {
     /// Propagate same-level track groups on scoped threads.
     pub level_parallel: bool,
     /// Per-transaction cross-engine memo of access-free prefix deltas.
     pub shared: Option<&'s SharedDeltaCache>,
+    /// Record a propagation trace into [`PlannedUpdate::trace`]. Unlike
+    /// the other knobs this one does extra work (probes + `Instant`
+    /// reads), but never changes the planned deltas or the report.
+    pub trace: bool,
 }
 
 /// One maintained view (plus its chosen auxiliary materializations).
@@ -384,8 +394,10 @@ impl IvmEngine {
                 base_delta: base_delta.clone(),
                 view_deltas: Vec::new(),
                 report,
+                trace: None,
             });
         };
+        obs::counter_add(metric::TRACK_PROPAGATIONS, 1);
         let batched = self.mode == PropagationMode::Batched;
         let mut exec = QueryExec::new(&self.memo, catalog, &self.materialized);
         if batched {
@@ -409,6 +421,7 @@ impl IvmEngine {
             .flatten();
         let mut deltas: BTreeMap<GroupId, Delta> = BTreeMap::new();
         deltas.insert(leaf, base_delta.clone());
+        let mut recs: BTreeMap<GroupId, GroupRec> = BTreeMap::new();
 
         let levels = self.prop_ctx.levels.get(table);
         if let (true, Some(levels)) = (opts.level_parallel, levels) {
@@ -427,6 +440,8 @@ impl IvmEngine {
                     let mut ctx = CostCtx::new(&self.memo, catalog, &self.model);
                     for &(g, op) in &work {
                         let mut posed = 0u64;
+                        let mut probe = opts.trace.then(GroupProbe::default);
+                        let t0 = opts.trace.then(std::time::Instant::now);
                         if let Some(d) = self.propagate_group(
                             catalog,
                             table,
@@ -440,7 +455,21 @@ impl IvmEngine {
                             &mut posed,
                             opts.shared,
                             chains,
+                            probe.as_mut(),
                         )? {
+                            if let Some(probe) = probe {
+                                recs.insert(
+                                    g,
+                                    GroupRec {
+                                        probe,
+                                        delta_out: d.size(),
+                                        posed,
+                                        wall_ns: t0
+                                            .map(|t| t.elapsed().as_nanos() as u64)
+                                            .unwrap_or(0),
+                                    },
+                                );
+                            }
                             deltas.insert(g, d);
                         }
                         report.queries_posed += posed;
@@ -449,7 +478,7 @@ impl IvmEngine {
                 }
                 let exec_ref = &exec;
                 let deltas_ref = &deltas;
-                type GroupOutcome = (GroupId, Option<Delta>, IoMeter, u64);
+                type GroupOutcome = (GroupId, Option<Delta>, IoMeter, u64, Option<GroupProbe>, u64);
                 let results: Vec<IvmResult<GroupOutcome>> =
                     std::thread::scope(|s| {
                         let handles: Vec<_> = work
@@ -460,6 +489,8 @@ impl IvmEngine {
                                         CostCtx::new(&self.memo, catalog, &self.model);
                                     let mut io = IoMeter::new();
                                     let mut posed = 0u64;
+                                    let mut probe = opts.trace.then(GroupProbe::default);
+                                    let t0 = opts.trace.then(std::time::Instant::now);
                                     let d = self.propagate_group(
                                         catalog,
                                         table,
@@ -473,8 +504,11 @@ impl IvmEngine {
                                         &mut posed,
                                         opts.shared,
                                         chains,
+                                        probe.as_mut(),
                                     )?;
-                                    Ok((g, d, io, posed))
+                                    let wall =
+                                        t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+                                    Ok((g, d, io, posed, probe, wall))
                                 })
                             })
                             .collect();
@@ -490,10 +524,21 @@ impl IvmEngine {
                             .collect()
                     });
                 for r in results {
-                    let (g, d, io, posed) = r?;
+                    let (g, d, io, posed, probe, wall_ns) = r?;
                     add_io(&mut report.query_io, &io);
                     report.queries_posed += posed;
                     if let Some(d) = d {
+                        if let Some(probe) = probe {
+                            recs.insert(
+                                g,
+                                GroupRec {
+                                    probe,
+                                    delta_out: d.size(),
+                                    posed,
+                                    wall_ns,
+                                },
+                            );
+                        }
                         deltas.insert(g, d);
                     }
                 }
@@ -505,6 +550,8 @@ impl IvmEngine {
                     continue;
                 };
                 let mut posed = 0u64;
+                let mut probe = opts.trace.then(GroupProbe::default);
+                let t0 = opts.trace.then(std::time::Instant::now);
                 if let Some(d) = self.propagate_group(
                     catalog,
                     table,
@@ -518,7 +565,19 @@ impl IvmEngine {
                     &mut posed,
                     opts.shared,
                     chains,
+                    probe.as_mut(),
                 )? {
+                    if let Some(probe) = probe {
+                        recs.insert(
+                            g,
+                            GroupRec {
+                                probe,
+                                delta_out: d.size(),
+                                posed,
+                                wall_ns: t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                            },
+                        );
+                    }
                     deltas.insert(g, d);
                 }
                 report.queries_posed += posed;
@@ -534,12 +593,128 @@ impl IvmEngine {
             .filter_map(|&g| deltas.get(&g).map(|d| (g, d.clone())))
             .filter(|(_, d)| !d.is_empty())
             .collect();
+        // All delta-carrying groups minus the leaf's seed entry.
+        obs::counter_add(
+            metric::TRACK_GROUPS_PROPAGATED,
+            deltas.len().saturating_sub(1) as u64,
+        );
+        obs::counter_add(metric::QUERIES_POSED, report.queries_posed);
+        let trace = opts.trace.then(|| {
+            self.plan_trace(catalog, table, base_delta, leaf, order, levels, &recs)
+        });
         Ok(PlannedUpdate {
             table: table.to_string(),
             base_delta: base_delta.clone(),
             view_deltas,
             report,
+            trace,
         })
+    }
+
+    /// Assemble the propagation trace from the per-group recordings, in
+    /// the build-time level plan's order (mode-independent, so Sequential
+    /// and Parallel runs produce structurally identical trees).
+    #[allow(clippy::too_many_arguments)]
+    fn plan_trace(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        base_delta: &Delta,
+        leaf: GroupId,
+        order: &[GroupId],
+        levels: Option<&Vec<Vec<GroupId>>>,
+        recs: &BTreeMap<GroupId, GroupRec>,
+    ) -> TraceNode {
+        let track_path: Vec<String> = order.iter().map(|g| format!("N{}", g.0)).collect();
+        let mut root = TraceNode::new(format!("propagate {}", self.name))
+            .with_field("table", table)
+            .with_field("mode", format!("{:?}", self.mode))
+            .with_field("track", track_path.join("→"));
+
+        let mut l0 = TraceNode::new("level 0");
+        l0.push_child(
+            TraceNode::new(format!("N{} Scan", leaf.0))
+                .with_field("op", format!("Scan({table})"))
+                .with_field("Δout", base_delta.size()),
+        );
+        root.push_child(l0);
+
+        let empty: Vec<Vec<GroupId>> = Vec::new();
+        for (i, level) in levels.unwrap_or(&empty).iter().enumerate() {
+            let members: Vec<(GroupId, &GroupRec)> = level
+                .iter()
+                .filter_map(|&g| recs.get(&g).map(|r| (g, r)))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut ln = TraceNode::new(format!("level {}", i + 1));
+            ln.wall_ns = Some(members.iter().map(|(_, r)| r.wall_ns).sum());
+            for (g, rec) in members {
+                let Some(&op) = self.tracks.get(table).and_then(|t| t.choices.get(&g)) else {
+                    continue;
+                };
+                let kind = &self.memo.op(op).op;
+                let mut node = TraceNode::new(format!("N{} {}", g.0, kind_name(kind)))
+                    .with_field("op", kind)
+                    .with_field("Δin", rec.probe.delta_in)
+                    .with_field("Δout", rec.delta_out)
+                    .with_field("posed", rec.posed);
+                if let Some(mv) = self.materialized.get(&g) {
+                    node.push_field("mv", mv);
+                }
+                for q in &rec.probe.queries {
+                    node.push_child(
+                        TraceNode::new("query")
+                            .with_field("child", format!("N{}", q.child.0))
+                            .with_field("cols", format!("{:?}", q.cols))
+                            .with_field("keys", q.keys)
+                            .with_field("via", self.access_resolution(catalog, q.child, &q.cols)),
+                    );
+                }
+                if rec.probe.cached {
+                    node.push_note("shared-delta-cache hit");
+                }
+                node.wall_ns = Some(rec.wall_ns);
+                ln.push_child(node);
+            }
+            root.push_child(ln);
+        }
+        root
+    }
+
+    /// How a posed query against `g` on `cols` resolves: an exact index
+    /// probe on the backing table (possibly with permuted key columns), a
+    /// scan/partition of it, or on-the-fly derivation when the group is
+    /// not backed by a stored relation. A static property of the
+    /// pre-update catalog — identical across execution modes.
+    fn access_resolution(&self, catalog: &Catalog, g: GroupId, cols: &[usize]) -> String {
+        let g = self.memo.find(g);
+        let table = self.materialized.get(&g).cloned().or_else(|| {
+            self.memo.is_leaf(g).then(|| {
+                self.memo.group_ops(g).iter().find_map(|&op| {
+                    match &self.memo.op(op).op {
+                        OpKind::Scan { table } => Some(table.clone()),
+                        _ => None,
+                    }
+                })
+            })?
+        });
+        let Some(table) = table else {
+            return "derived".to_string();
+        };
+        if cols.is_empty() {
+            return format!("scan({table})");
+        }
+        match catalog
+            .table(&table)
+            .ok()
+            .and_then(|t| t.relation.find_exact_index(cols))
+        {
+            Some((_, false)) => format!("index({table})"),
+            Some((_, true)) => format!("index({table}) permuted"),
+            None => format!("scan({table})"),
+        }
     }
 
     /// Compute one group's output delta from its children's deltas (and
@@ -560,6 +735,7 @@ impl IvmEngine {
         posed: &mut u64,
         shared: Option<&SharedDeltaCache>,
         chains: Option<&BTreeMap<GroupId, ChainFingerprint>>,
+        mut probe: Option<&mut GroupProbe>,
     ) -> IvmResult<Option<Delta>> {
         let children = self.memo.op_children(op);
         // Exactly one child may carry a delta (sequential propagation;
@@ -578,22 +754,30 @@ impl IvmEngine {
         let Some(&delta_child) = carriers.first() else {
             return Ok(None);
         };
-        // Access-free prefix: reusable across engines within the
-        // transaction. Select/Project propagation poses no queries and
-        // charges no I/O in any mode, so a cache hit changes nothing in
-        // the report — it only skips recomputation.
-        let fp = chains.and_then(|m| m.get(&g));
-        if let (Some(cache), Some(fp)) = (shared, fp) {
-            if let Some(d) = cache.get(fp) {
-                return Ok(Some(d));
-            }
-        }
         let d_in = deltas
             .get(&children[delta_child])
             .ok_or_else(|| {
                 IvmError::Internal("carrier child lost its delta during propagation".into())
             })?
             .clone();
+        if let Some(p) = probe.as_mut() {
+            p.delta_in = d_in.size();
+        }
+        // Access-free prefix: reusable across engines within the
+        // transaction. Select/Project propagation poses no queries and
+        // charges no I/O in any mode, so a cache hit changes nothing in
+        // the report — it only skips recomputation. (The trace stays
+        // structurally identical too: a hit is recorded as a
+        // non-structural note, and cacheable chains pose no queries.)
+        let fp = chains.and_then(|m| m.get(&g));
+        if let (Some(cache), Some(fp)) = (shared, fp) {
+            if let Some(d) = cache.get(fp) {
+                if let Some(p) = probe.as_mut() {
+                    p.cached = true;
+                }
+                return Ok(Some(d));
+            }
+        }
         let node = Arc::new(ExprNode {
             op: self.memo.op(op).op.clone(),
             children: vec![],
@@ -617,6 +801,7 @@ impl IvmEngine {
             batched,
             io,
             posed,
+            queries: probe.map(|p| &mut p.queries),
         };
         let d_out = spacetime_delta::propagate(&node, delta_child, &d_in, &mut access)?;
         if let (Some(cache), Some(fp)) = (shared, fp) {
@@ -770,11 +955,20 @@ struct EngineAccess<'e, 'c, 'x> {
     batched: bool,
     io: &'x mut IoMeter,
     posed: &'x mut u64,
+    /// When tracing, every posed query is also recorded here.
+    queries: Option<&'x mut Vec<QueryRec>>,
 }
 
 impl InputAccess for EngineAccess<'_, '_, '_> {
     fn matching(&mut self, child: usize, cols: &[usize], key: &[Value]) -> StorageResult<Bag> {
         *self.posed += 1;
+        if let Some(q) = self.queries.as_mut() {
+            q.push(QueryRec {
+                child: self.children[child],
+                cols: cols.to_vec(),
+                keys: 1,
+            });
+        }
         self.exec
             .query(self.children[child], cols, key, self.ctx, self.io)
     }
@@ -790,6 +984,16 @@ impl InputAccess for EngineAccess<'_, '_, '_> {
             // count is mode-independent (the *plans* differ, not the set of
             // posed queries — §2.2).
             *self.posed += keys.len() as u64;
+            if let Some(q) = self.queries.as_mut() {
+                // An empty batch poses nothing — don't trace a phantom query.
+                if !keys.is_empty() {
+                    q.push(QueryRec {
+                        child: self.children[child],
+                        cols: cols.to_vec(),
+                        keys: keys.len() as u64,
+                    });
+                }
+            }
             return self
                 .exec
                 .query_all(self.children[child], cols, keys, self.ctx, self.io);
@@ -963,6 +1167,18 @@ fn level_plan(
     // copy the input around.
     chains.remove(&leaf);
     (levels, chains)
+}
+
+/// Short variant name of an op, for trace span labels.
+fn kind_name(kind: &OpKind) -> &'static str {
+    match kind {
+        OpKind::Scan { .. } => "Scan",
+        OpKind::Select { .. } => "Select",
+        OpKind::Project { .. } => "Project",
+        OpKind::Join { .. } => "Join",
+        OpKind::Aggregate { .. } => "Aggregate",
+        OpKind::Distinct => "Distinct",
+    }
 }
 
 /// Add `other`'s counters into `io` (u64 sums — order-independent, so

@@ -20,6 +20,10 @@
 //!   per-transaction cross-engine shared-delta cache. Parallelism is
 //!   wall-clock only: reports, deltas, and view contents stay
 //!   bit-identical to sequential execution.
+//! * [`trace`] — propagation-trace recording: the opt-in, always-compiled
+//!   `EXPLAIN ANALYZE` plane ([`Database::set_tracing`] /
+//!   [`Database::last_trace`]), structurally deterministic across
+//!   execution modes.
 //! * [`verify`] — the recompute-from-scratch oracle used by tests and
 //!   examples to prove maintenance correct.
 
@@ -28,12 +32,14 @@ pub mod database;
 pub mod engine;
 pub mod pipeline;
 pub mod qexec;
+pub mod trace;
 pub mod verify;
 
 pub use constraints::{Assertion, Violation};
 pub use database::{Database, ViewSelection};
 pub use engine::{IvmEngine, PropagationMode, UpdateReport};
 pub use pipeline::{ExecutionMode, PipelinePool, SharedDeltaCache};
+pub use trace::TraceNode;
 pub use verify::verify_all_views;
 
 /// Errors surfaced by the runtime: storage/algebra errors plus SQL ones.

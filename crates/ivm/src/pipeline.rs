@@ -31,6 +31,7 @@ use std::thread::JoinHandle;
 
 use spacetime_algebra::OpKind;
 use spacetime_delta::Delta;
+use spacetime_obs::{self as obs, names as metric};
 use spacetime_storage::fault;
 
 use crate::{IvmError, IvmResult};
@@ -168,6 +169,7 @@ impl PipelinePool {
                 if let Ok(fresh) = spawn_worker(i, Arc::clone(rx)) {
                     let dead = std::mem::replace(slot, fresh);
                     let _ = dead.join();
+                    obs::counter_add(metric::POOL_RESPAWNS, 1);
                 }
             }
         }
@@ -233,12 +235,18 @@ impl PipelinePool {
         tasks: Vec<Box<dyn FnOnce() -> T + Send>>,
     ) -> IvmResult<Vec<RawOutcome<T>>> {
         let execute = |task: Box<dyn FnOnce() -> T + Send>| -> RawOutcome<T> {
-            catch_unwind(AssertUnwindSafe(move || {
+            obs::gauge_add(metric::POOL_QUEUE_DEPTH, -1.0);
+            let busy = obs::stopwatch();
+            let out = catch_unwind(AssertUnwindSafe(move || {
                 fault::fire_panic("ivm::pool_dispatch");
                 task()
-            }))
+            }));
+            busy.add_to_counter(metric::POOL_WORKER_BUSY_NS);
+            out
         };
         let n = tasks.len();
+        obs::counter_add(metric::POOL_TASKS, n as u64);
+        obs::gauge_add(metric::POOL_QUEUE_DEPTH, n as f64);
         let inline = |tasks: Vec<Box<dyn FnOnce() -> T + Send>>| {
             Ok(tasks.into_iter().map(execute).collect())
         };
@@ -322,9 +330,16 @@ impl SharedDeltaCache {
             .unwrap_or_else(|e| e.into_inner())
             .get(fp)
             .cloned();
+        obs::counter_add(metric::DELTA_CACHE_LOOKUPS, 1);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add(metric::DELTA_CACHE_HITS, 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add(metric::DELTA_CACHE_MISSES, 1);
+            }
         };
         found
     }

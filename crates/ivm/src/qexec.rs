@@ -15,6 +15,7 @@ use spacetime_algebra::eval::{aggregate_bag, join_bags};
 use spacetime_algebra::{JoinCondition, OpKind, ScalarExpr};
 use spacetime_cost::{Cost, CostCtx, Marking};
 use spacetime_memo::{GroupId, Memo, OpId};
+use spacetime_obs::{self as obs, names as metric};
 use spacetime_storage::{Bag, Catalog, HashIndex, IoMeter, StorageResult, Value};
 
 /// Cached runtime plan decisions, shared across updates.
@@ -157,10 +158,13 @@ impl<'a> QueryExec<'a> {
     /// is attached.
     fn best_query_op(&self, g: GroupId, cols: &[usize], ctx: &mut CostCtx<'_>) -> Option<OpId> {
         if let Some(pc) = self.plans {
+            obs::counter_add(metric::PLAN_CACHE_LOOKUPS, 1);
             let cache = pc.bound.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(&choice) = cache.get(&(g, cols.to_vec())) {
+                obs::counter_add(metric::PLAN_CACHE_HITS, 1);
                 return choice;
             }
+            obs::counter_add(metric::PLAN_CACHE_MISSES, 1);
         }
         let mut best: Option<(Cost, OpId)> = None;
         for op in self.memo.group_ops(g) {
@@ -396,10 +400,13 @@ impl<'a> QueryExec<'a> {
     /// [`PlanCache`] is attached.
     fn best_full_op(&self, g: GroupId, ctx: &mut CostCtx<'_>) -> Option<OpId> {
         if let Some(pc) = self.plans {
+            obs::counter_add(metric::PLAN_CACHE_LOOKUPS, 1);
             let cache = pc.full.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(&choice) = cache.get(&g) {
+                obs::counter_add(metric::PLAN_CACHE_HITS, 1);
                 return choice;
             }
+            obs::counter_add(metric::PLAN_CACHE_MISSES, 1);
         }
         let mut best: Option<(Cost, OpId)> = None;
         for op in self.memo.group_ops(g) {

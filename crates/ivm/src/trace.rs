@@ -1,0 +1,56 @@
+//! Propagation-trace recording: the per-update `EXPLAIN ANALYZE` plane.
+//!
+//! Tracing is always compiled and opt-in at runtime
+//! ([`crate::Database::set_tracing`]); the recorded tree is a
+//! [`spacetime_obs::TraceNode`]. Structural content (track chosen, ops,
+//! posed queries, index-vs-scan resolution, delta sizes, commit targets)
+//! must be identical between `ExecutionMode::Sequential` and
+//! `ExecutionMode::Parallel`; wall-clock durations and cache-hit notes are
+//! non-structural and excluded from `TraceNode::structure_json`.
+//!
+//! Recording is collected per track group by [`GroupProbe`] (filled inside
+//! `IvmEngine::propagate_group` and its `InputAccess`), then assembled in
+//! the *build-time level plan's* order — a mode-independent artifact — so
+//! the tree's shape never depends on thread scheduling.
+
+use spacetime_memo::GroupId;
+pub use spacetime_obs::TraceNode;
+
+/// One posed query recorded during a group's propagation: which child was
+/// queried, on which binding columns, with how many distinct keys.
+#[derive(Debug, Clone)]
+pub(crate) struct QueryRec {
+    /// The queried child group.
+    pub child: GroupId,
+    /// Binding columns of the posed query.
+    pub cols: Vec<usize>,
+    /// Distinct keys answered (1 per call in per-key mode; the batch size
+    /// for a batched `matching_all`).
+    pub keys: u64,
+}
+
+/// Per-group recording slot threaded through `propagate_group`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GroupProbe {
+    /// Posed queries, in pose order.
+    pub queries: Vec<QueryRec>,
+    /// Size of the carrier child's delta.
+    pub delta_in: u64,
+    /// Whether the group's delta came from the cross-engine shared-delta
+    /// cache (non-structural: only access-free chains are cacheable, so a
+    /// hit changes neither queries nor deltas).
+    pub cached: bool,
+}
+
+/// A propagated group's full recording, assembled by `plan_update_with`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GroupRec {
+    /// The probe filled during propagation.
+    pub probe: GroupProbe,
+    /// Size of the group's output delta.
+    pub delta_out: u64,
+    /// Queries posed by this group (mode-independent §2.2 count).
+    pub posed: u64,
+    /// Wall-clock nanoseconds spent propagating the group.
+    pub wall_ns: u64,
+}

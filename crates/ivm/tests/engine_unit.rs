@@ -284,6 +284,7 @@ fn level_parallel_plan_is_bit_identical() {
     let opts = PlanOptions {
         level_parallel: true,
         shared: Some(&shared),
+        ..PlanOptions::default()
     };
     let piped = engine.plan_update_with(&cat, "Emp", &delta, &opts).unwrap();
     assert_eq!(baseline.report, piped.report);

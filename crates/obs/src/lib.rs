@@ -1,0 +1,32 @@
+//! `spacetime-obs`: the observability plane for the spacetime workspace.
+//!
+//! Two independent facilities live here:
+//!
+//! * **Metrics** ([`metrics`]): a lock-cheap registry of atomic counters,
+//!   gauges, and fixed-bucket histograms behind a [`Recorder`] trait. The
+//!   whole plane is gated behind the `metrics` cargo feature, mirroring the
+//!   `failpoints` pattern in `spacetime-storage::fault`: with the feature
+//!   off (the default) every instrumentation call site is an inlined empty
+//!   function, the metric-name string literals are dead-code-eliminated
+//!   from release binaries, and [`snapshot`] returns an empty
+//!   [`MetricsSnapshot`]. Call sites never branch on the feature
+//!   themselves; they call the same free functions either way.
+//!
+//! * **Traces** ([`trace`]): a plain span-tree data structure
+//!   ([`TraceNode`]) used by `spacetime-ivm` to record `EXPLAIN
+//!   ANALYZE`-style propagation traces. Traces are always compiled and
+//!   opt-in at runtime (`Database::set_tracing`), so determinism tests can
+//!   exercise them in the default build. Wall-clock durations and advisory
+//!   notes are carried alongside the structural content and excluded from
+//!   [`TraceNode::structure_json`], which is what cross-mode identity
+//!   tests compare.
+
+pub mod metrics;
+pub mod names;
+pub mod trace;
+
+pub use metrics::{
+    compiled, counter_add, gauge_add, gauge_set, observe_ns, quantile_sorted, snapshot, stopwatch,
+    HistogramSnapshot, MetricsSnapshot, NoopRecorder, Recorder, StopWatch,
+};
+pub use trace::TraceNode;

@@ -1,0 +1,63 @@
+//! Catalog of every metric name emitted by the workspace.
+//!
+//! Names follow Prometheus conventions: `spacetime_` prefix, `_total`
+//! suffix on monotone counters, unit suffix (`_ns`) on time-valued
+//! series. Keeping them in one module makes the exposition greppable and
+//! gives CI a stable target for the "no exposition strings in the default
+//! binary" check (the constants are dead-code-eliminated when the
+//! `metrics` feature is off because every consumer is an inlined no-op).
+
+/// Tasks ever dispatched to a [`PipelinePool`] (inline fast path included).
+pub const POOL_TASKS: &str = "spacetime_pool_tasks_total";
+/// Tasks currently queued or executing on pool workers.
+pub const POOL_QUEUE_DEPTH: &str = "spacetime_pool_queue_depth";
+/// Cumulative nanoseconds pool workers spent executing tasks.
+pub const POOL_WORKER_BUSY_NS: &str = "spacetime_pool_worker_busy_ns_total";
+/// Workers respawned after a task panic unwound one.
+pub const POOL_RESPAWNS: &str = "spacetime_pool_respawned_workers_total";
+
+/// Cross-engine `SharedDeltaCache` probes.
+pub const DELTA_CACHE_LOOKUPS: &str = "spacetime_delta_cache_lookups_total";
+/// `SharedDeltaCache` probes answered from the cache.
+pub const DELTA_CACHE_HITS: &str = "spacetime_delta_cache_hits_total";
+/// `SharedDeltaCache` probes that missed.
+pub const DELTA_CACHE_MISSES: &str = "spacetime_delta_cache_misses_total";
+
+/// Optimizer `SharedQueryCache` probes.
+pub const QUERY_CACHE_LOOKUPS: &str = "spacetime_query_cache_lookups_total";
+/// `SharedQueryCache` probes answered from the cache.
+pub const QUERY_CACHE_HITS: &str = "spacetime_query_cache_hits_total";
+/// `SharedQueryCache` probes that missed.
+pub const QUERY_CACHE_MISSES: &str = "spacetime_query_cache_misses_total";
+
+/// `PlanCache` probes in `QueryExec` (bound and full plans).
+pub const PLAN_CACHE_LOOKUPS: &str = "spacetime_plan_cache_lookups_total";
+/// `PlanCache` probes answered from the cache.
+pub const PLAN_CACHE_HITS: &str = "spacetime_plan_cache_hits_total";
+/// `PlanCache` probes that missed.
+pub const PLAN_CACHE_MISSES: &str = "spacetime_plan_cache_misses_total";
+
+/// Base-table updates applied through `Database::apply_delta`.
+pub const UPDATES_APPLIED: &str = "spacetime_updates_applied_total";
+/// Queries posed against materialized state during propagation (§2.2).
+pub const QUERIES_POSED: &str = "spacetime_queries_posed_total";
+/// Update tracks walked (one per engine with a track for the updated table).
+pub const TRACK_PROPAGATIONS: &str = "spacetime_track_propagations_total";
+/// Op-tree nodes that produced a delta during track propagation.
+pub const TRACK_GROUPS_PROPAGATED: &str = "spacetime_track_groups_propagated_total";
+/// End-to-end `apply_delta` latency histogram (plan + gate + commit).
+pub const UPDATE_LATENCY_NS: &str = "spacetime_update_latency_ns";
+/// Commit-phase latency histogram.
+pub const COMMIT_LATENCY_NS: &str = "spacetime_commit_latency_ns";
+
+/// View sets handed to the optimizer's search engine.
+pub const OPT_SETS_CONSIDERED: &str = "spacetime_opt_sets_considered_total";
+/// View sets abandoned by branch-and-bound pruning.
+pub const OPT_SETS_PRUNED: &str = "spacetime_opt_sets_pruned_total";
+/// Evaluations whose track enumeration hit the `max_tracks` cap.
+pub const OPT_TRACKS_TRUNCATED: &str = "spacetime_opt_tracks_truncated_total";
+/// Weighted cost of the current best (incumbent) view set, updated live.
+pub const OPT_INCUMBENT_COST: &str = "spacetime_opt_incumbent_cost";
+
+/// Failpoints fired (only moves in `failpoints` builds).
+pub const FAILPOINTS_FIRED: &str = "spacetime_failpoints_fired_total";

@@ -31,6 +31,13 @@ pub struct OptimizeOutcome {
     /// run. Non-zero means some track spaces were not fully explored and
     /// the reported costs are upper bounds.
     pub tracks_truncated: usize,
+    /// Probes of the cross-worker [`spacetime_cost::SharedQueryCache`]
+    /// answered from the cache. Zero for entry points that price without
+    /// the shared cache (e.g. `rule_of_thumb_optimize`).
+    pub query_cache_hits: u64,
+    /// Probes of the shared query-cost cache that missed and had to be
+    /// priced. Lookups are `query_cache_hits + query_cache_misses`.
+    pub query_cache_misses: u64,
 }
 
 impl OptimizeOutcome {

@@ -118,6 +118,9 @@ pub fn rule_of_thumb_optimize(
         sets_considered: 2,
         sets_pruned: 0,
         tracks_truncated,
+        // Prices through a plain per-ctx CostCtx; no shared cache in play.
+        query_cache_hits: 0,
+        query_cache_misses: 0,
     }
 }
 
@@ -152,6 +155,8 @@ pub fn greedy_add(
     let mut sets_considered = base.sets_considered;
     let mut sets_pruned = base.sets_pruned;
     let mut tracks_truncated = base.tracks_truncated;
+    let mut query_cache_hits = base.query_cache_hits;
+    let mut query_cache_misses = base.query_cache_misses;
     let mut current_eval = base.best;
     let mut evaluated = vec![current_eval.clone()];
     loop {
@@ -171,6 +176,8 @@ pub fn greedy_add(
         sets_considered += round.sets_considered;
         sets_pruned += round.sets_pruned;
         tracks_truncated += round.tracks_truncated;
+        query_cache_hits += round.query_cache_hits;
+        query_cache_misses += round.query_cache_misses;
         if round.best.weighted < current_eval.weighted {
             current = round.best.view_set.clone();
             evaluated.push(round.best.clone());
@@ -186,6 +193,8 @@ pub fn greedy_add(
         sets_considered,
         sets_pruned,
         tracks_truncated,
+        query_cache_hits,
+        query_cache_misses,
     }
 }
 

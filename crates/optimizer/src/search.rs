@@ -25,6 +25,7 @@ use std::sync::Mutex;
 
 use spacetime_cost::{CostCtx, CostModel, SharedQueryCache, TransactionType};
 use spacetime_memo::{GroupId, Memo};
+use spacetime_obs::{self as obs, names as metric};
 use spacetime_storage::Catalog;
 
 use crate::candidates::ViewSet;
@@ -78,6 +79,8 @@ impl TopK {
             self.threshold_bits
                 .store(entries[self.k - 1].weighted.to_bits(), Ordering::Release);
         }
+        // Live search progress: the current best weighted cost.
+        obs::gauge_set(metric::OPT_INCUMBENT_COST, entries[0].weighted);
     }
 
     fn into_sorted(self) -> Vec<ViewSetEvaluation> {
@@ -148,13 +151,21 @@ pub fn search_view_sets(
 
     let evaluated = top.into_sorted();
     let best = evaluated.first().cloned().expect("at least one view set");
-    OptimizeOutcome {
+    let (query_cache_hits, query_cache_misses) = shared.stats();
+    let outcome = OptimizeOutcome {
         best,
         evaluated,
         sets_considered: sets.len(),
         sets_pruned: pruned.into_inner(),
         tracks_truncated: tcat.tracks_truncated(),
-    }
+        query_cache_hits,
+        query_cache_misses,
+    };
+    obs::counter_add(metric::OPT_SETS_CONSIDERED, outcome.sets_considered as u64);
+    obs::counter_add(metric::OPT_SETS_PRUNED, outcome.sets_pruned as u64);
+    obs::counter_add(metric::OPT_TRACKS_TRUNCATED, outcome.tracks_truncated as u64);
+    obs::gauge_set(metric::OPT_INCUMBENT_COST, outcome.best.weighted);
+    outcome
 }
 
 #[cfg(test)]

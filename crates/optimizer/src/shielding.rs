@@ -70,6 +70,8 @@ fn solve(
         .collect();
 
     let mut sets_considered = 0usize;
+    let mut query_cache_hits = 0u64;
+    let mut query_cache_misses = 0u64;
 
     // Opt(N) for each shield, computed recursively (maintaining N as the
     // local root under the same workload).
@@ -79,6 +81,8 @@ fn solve(
         let below = candidate_groups(memo, n);
         let local = solve(memo, catalog, model, n, txns, config);
         sets_considered += local.sets_considered;
+        query_cache_hits += local.query_cache_hits;
+        query_cache_misses += local.query_cache_misses;
         let extras: Vec<GroupId> = local
             .best
             .view_set
@@ -162,6 +166,8 @@ fn solve(
 
     let mut outcome = search_view_sets(memo, catalog, model, &[root], &sets, txns, config);
     outcome.sets_considered += sets_considered;
+    outcome.query_cache_hits += query_cache_hits;
+    outcome.query_cache_misses += query_cache_misses;
     outcome
 }
 

@@ -289,6 +289,7 @@ mod imp {
             spec.action
             // Guard drops here: panicking below must not poison the plan.
         };
+        spacetime_obs::counter_add(spacetime_obs::names::FAILPOINTS_FIRED, 1);
         match action {
             FaultAction::Error => Err(StorageError::FaultInjected {
                 site: site.to_string(),
