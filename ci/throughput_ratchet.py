@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Throughput ratchet for the IVM data-plane smoke benchmark.
+
+Compares a fresh ``BENCH_ivm.json`` smoke run against the committed
+smoke baseline (``ci/bench_ivm_smoke_baseline.json``) and fails if any
+scenario's batched-mode ``txns_per_sec`` fell below a generous fraction
+of the baseline. The tolerance is deliberately loose: smoke runs last
+milliseconds and CI hardware differs from the machine that recorded the
+baseline, so this is a guard against order-of-magnitude regressions
+(e.g. reintroducing per-probe allocation or deep-clone commits on the
+data plane), not a precision benchmark.
+
+Usage: throughput_ratchet.py <fresh.json> <baseline.json> [min_ratio]
+"""
+
+import json
+import sys
+
+
+def scenarios(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not doc.get("smoke", False):
+        sys.exit(f"{path}: not a smoke run; the ratchet compares smoke against smoke")
+    return {s["name"]: s for s in doc["scenarios"]}
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    min_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 0.2
+
+    fresh = scenarios(fresh_path)
+    base = scenarios(base_path)
+
+    failures = []
+    for name, b in sorted(base.items()):
+        if name not in fresh:
+            failures.append(f"scenario {name!r} missing from fresh run")
+            continue
+        got = fresh[name]["batched"]["txns_per_sec"]
+        want = b["batched"]["txns_per_sec"]
+        ratio = got / want if want else float("inf")
+        status = "ok" if ratio >= min_ratio else "REGRESSED"
+        print(
+            f"{name:10} batched {got:>10.1f} txn/s  baseline {want:>10.1f}"
+            f"  ratio {ratio:5.2f}  (floor {min_ratio})  {status}"
+        )
+        if ratio < min_ratio:
+            failures.append(
+                f"scenario {name!r}: batched {got:.1f} txn/s is below "
+                f"{min_ratio} x baseline {want:.1f}"
+            )
+
+    if failures:
+        sys.exit("throughput ratchet failed:\n  " + "\n  ".join(failures))
+    print("throughput ratchet passed")
+
+
+if __name__ == "__main__":
+    main()

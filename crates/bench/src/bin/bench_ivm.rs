@@ -35,6 +35,64 @@ use spacetime_obs::quantile_sorted;
 const SEED: u64 = 9406; // SIGMOD '96
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// Heap-allocation counting, compiled in with `--features alloc-stats`:
+/// a `#[global_allocator]` shim over `System` that counts every
+/// `alloc`/`realloc`/`alloc_zeroed`. The JSON reports allocations *per
+/// transaction* per mode — the data-plane representation work
+/// (inline values, shard-wise copy-on-write, borrowed-key probes) shows
+/// up here directly. Off by default so the timed numbers stay untaxed.
+#[cfg(feature = "alloc-stats")]
+mod alloc_stats {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: defers every operation to `System`; the counter is a pure
+    // side effect.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(l) }
+        }
+        unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+            unsafe { System.dealloc(p, l) }
+        }
+        unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(p, l, n) }
+        }
+        unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(l) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: Counting = Counting;
+
+    pub fn compiled() -> bool {
+        true
+    }
+
+    pub fn count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(feature = "alloc-stats"))]
+mod alloc_stats {
+    pub fn compiled() -> bool {
+        false
+    }
+
+    pub fn count() -> u64 {
+        0
+    }
+}
+
 struct Scenario {
     name: &'static str,
     departments: usize,
@@ -51,6 +109,9 @@ struct ModeRun {
     queries_posed: u64,
     /// Per-transaction wall clock, for exact latency percentiles.
     latencies_ns: Vec<u64>,
+    /// Heap allocations attributed to this mode's `apply_delta` calls
+    /// (zero unless built with `--features alloc-stats`).
+    allocs: u64,
 }
 
 impl ModeRun {
@@ -162,24 +223,31 @@ fn run_scenario(s: Scenario) -> Measured {
         paper_cost: 0,
         queries_posed: 0,
         latencies_ns: Vec::new(),
+        allocs: 0,
     };
     let (mut pk, mut ba, mut par) = (zero(), zero(), zero());
     for (table, delta) in &workload {
+        let a0 = alloc_stats::count();
         let t0 = Instant::now();
         let r_pk = db_pk.apply_delta(table, delta.clone()).expect("per-key");
         let dt = t0.elapsed();
         pk.wall += dt;
         pk.latencies_ns.push(dt.as_nanos() as u64);
+        pk.allocs += alloc_stats::count() - a0;
+        let a0 = alloc_stats::count();
         let t0 = Instant::now();
         let r_b = db_b.apply_delta(table, delta.clone()).expect("batched");
         let dt = t0.elapsed();
         ba.wall += dt;
         ba.latencies_ns.push(dt.as_nanos() as u64);
+        ba.allocs += alloc_stats::count() - a0;
+        let a0 = alloc_stats::count();
         let t0 = Instant::now();
         let r_par = db_par.apply_delta(table, delta.clone()).expect("parallel");
         let dt = t0.elapsed();
         par.wall += dt;
         par.latencies_ns.push(dt.as_nanos() as u64);
+        par.allocs += alloc_stats::count() - a0;
         // The invariant: neither batching nor the pipeline may change the
         // charged I/O or the posed-query count.
         assert_eq!(
@@ -346,6 +414,13 @@ fn main() {
         "  \"failpoints_compiled\": {},",
         spacetime_storage::fault::compiled()
     );
+    // Allocation counts are only meaningful when the counting allocator
+    // is compiled in; `allocs_per_txn` reads 0.0 otherwise.
+    let _ = writeln!(
+        json,
+        "  \"alloc_stats_compiled\": {},",
+        alloc_stats::compiled()
+    );
     json.push_str("  \"scenarios\": [\n");
     for (i, m) in measured.iter().enumerate() {
         let n = m.scenario.transactions;
@@ -370,7 +445,12 @@ fn main() {
             let _ = writeln!(json, "        \"queries_posed\": {},", run.queries_posed);
             let _ = writeln!(
                 json,
-                "        \"latency_ns\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max} }}"
+                "        \"latency_ns\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max} }},"
+            );
+            let _ = writeln!(
+                json,
+                "        \"allocs_per_txn\": {:.1}",
+                run.allocs as f64 / n as f64
             );
             json.push_str("      },\n");
         }

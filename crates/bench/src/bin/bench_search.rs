@@ -117,6 +117,42 @@ fn main() {
         );
     }
 
+    // The shared query-cost cache keys on the *narrowed* marking slice, so
+    // distinct view sets priced by different workers must actually collide.
+    // The timed configs use one worker per core, which on a single-core
+    // host leaves nothing to share across — so probe with an explicit
+    // 4-worker search (threads interleave; sharing is about key collisions,
+    // not cores). Zero hits here means narrowing regressed into
+    // full-marking keys.
+    let probe_config = EvalConfig {
+        parallelism: 4,
+        prune: false,
+        max_tracks: MAX_TRACKS,
+        ..EvalConfig::default()
+    };
+    let probe = optimal_view_set_over(
+        &s.memo,
+        &s.catalog,
+        &model,
+        s.root,
+        &candidates,
+        &s.txns,
+        &probe_config,
+        Some(MAX_EXTRA),
+    );
+    assert_eq!(
+        probe.best.view_set, measured[0].outcome.best.view_set,
+        "sharing probe found a different best set than serial"
+    );
+    assert!(
+        probe.query_cache_hits > 0,
+        "expected nonzero cross-worker shared query-cache hits (narrowed keys)"
+    );
+    eprintln!(
+        "sharing probe (4 workers): {} cross-worker hits, {} misses",
+        probe.query_cache_hits, probe.query_cache_misses
+    );
+
     let serial_min = measured[0].min_s();
     let mut json = String::new();
     json.push_str("{\n");
@@ -184,6 +220,19 @@ fn main() {
         });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"cross_worker_probe\": {\n");
+    json.push_str("    \"workers\": 4,\n");
+    let _ = writeln!(
+        json,
+        "    \"query_cache_hits\": {},",
+        probe.query_cache_hits
+    );
+    let _ = writeln!(
+        json,
+        "    \"query_cache_misses\": {}",
+        probe.query_cache_misses
+    );
+    json.push_str("  },\n");
     // Search-progress metrics (sets considered/pruned, shared-cache
     // series, incumbent cost); empty in default builds.
     let _ = writeln!(

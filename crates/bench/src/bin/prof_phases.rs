@@ -1,0 +1,66 @@
+//! Throwaway phase profiler (not part of the benchmark suite).
+
+use std::time::Instant;
+
+use spacetime_bench::workload::{load_paper_data, mixed_workload, paper_schema_db};
+use spacetime_cost::TransactionType;
+use spacetime_ivm::{PropagationMode, ViewSelection};
+
+const VIEWS: [&str; 4] = [
+    "CREATE MATERIALIZED VIEW ProblemDept (DName) AS \
+     SELECT Dept.DName FROM Emp, Dept WHERE Dept.DName = Emp.DName \
+     GROUP BY Dept.DName, Budget HAVING SUM(Salary) > Budget",
+    "CREATE MATERIALIZED VIEW DeptProfile AS \
+     SELECT DName, COUNT(*) AS Heads, MAX(Salary) AS TopSal \
+     FROM Emp GROUP BY DName",
+    "CREATE MATERIALIZED VIEW WellPaid AS \
+     SELECT EName, Emp.DName, MName FROM Emp, Dept \
+     WHERE Emp.DName = Dept.DName AND Salary > 150",
+    "CREATE MATERIALIZED VIEW ActiveDepts AS SELECT DISTINCT DName FROM Emp",
+];
+
+fn main() {
+    let mut db = paper_schema_db();
+    db.set_view_selection(ViewSelection::Exhaustive);
+    db.set_propagation_mode(PropagationMode::Batched);
+    load_paper_data(&mut db, 1000, 10);
+    db.declare_workload(vec![
+        TransactionType::modify(">Emp", "Emp", 1.0),
+        TransactionType::modify(">Dept", "Dept", 1.0),
+    ]);
+    for view in VIEWS {
+        db.execute_sql(view).expect("view DDL");
+    }
+    db.set_tracing(true);
+    let workload = mixed_workload(1000, 10, 200, 9406);
+    let (mut plan, mut gate, mut commit) = (0u128, 0u128, 0u128);
+    let t0 = Instant::now();
+    for (table, delta) in &workload {
+        db.apply_delta(table, delta.clone()).expect("apply");
+        if let Some(t) = db.last_trace() {
+            // notes: ["exec=Sequential", "phases plan=..ns gate=..ns commit=..ns"]
+            for n in &t.notes {
+                if let Some(rest) = n.strip_prefix("phases ") {
+                    for part in rest.split(' ') {
+                        let (k, v) = part.split_once('=').unwrap();
+                        let v: u128 = v.trim_end_matches("ns").parse().unwrap();
+                        match k {
+                            "plan" => plan += v,
+                            "gate" => gate += v,
+                            "commit" => commit += v,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    eprintln!(
+        "200 txns in {:.3}s  plan={:.1}ms gate={:.1}ms commit={:.1}ms",
+        wall.as_secs_f64(),
+        plan as f64 / 1e6,
+        gate as f64 / 1e6,
+        commit as f64 / 1e6
+    );
+}

@@ -51,6 +51,10 @@ pub struct CostCtx<'a> {
     distinct_cache: HashMap<(GroupId, usize), f64>,
     key_cache: HashMap<GroupId, Vec<Key>>,
     query_cache: HashMap<(GroupId, Vec<usize>, u64), crate::model::Cost>,
+    /// Canonical groups reachable from each canonical group through any op
+    /// alternative, memoized: the marking slice a query on that group can
+    /// possibly consult (used to narrow shared-cache keys).
+    reach_cache: HashMap<GroupId, std::sync::Arc<std::collections::BTreeSet<GroupId>>>,
     shared_queries: Option<crate::shared::SharedQueryCache>,
 }
 
@@ -65,6 +69,7 @@ impl<'a> CostCtx<'a> {
             distinct_cache: HashMap::new(),
             key_cache: HashMap::new(),
             query_cache: HashMap::new(),
+            reach_cache: HashMap::new(),
             shared_queries: None,
         }
     }
@@ -93,6 +98,37 @@ impl<'a> CostCtx<'a> {
     /// The cross-thread query-cost cache, if one was attached.
     pub(crate) fn shared_queries(&self) -> Option<&crate::shared::SharedQueryCache> {
         self.shared_queries.as_ref()
+    }
+
+    /// Every canonical group reachable from `g` (inclusive) through the
+    /// children of any op alternative — exactly the groups whose marking
+    /// membership `query_cost`/`full_eval_cost` on `g` can test. Memoized;
+    /// the memo is frozen for this context's lifetime, so the set never
+    /// goes stale.
+    pub(crate) fn reachable(
+        &mut self,
+        g: GroupId,
+    ) -> std::sync::Arc<std::collections::BTreeSet<GroupId>> {
+        let g = self.memo.find(g);
+        if let Some(r) = self.reach_cache.get(&g) {
+            return r.clone();
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![g];
+        while let Some(x) = stack.pop() {
+            let x = self.memo.find(x);
+            if !seen.insert(x) {
+                continue;
+            }
+            for op in self.memo.group_ops(x) {
+                for c in self.memo.op_children(op) {
+                    stack.push(self.memo.find(c));
+                }
+            }
+        }
+        let r = std::sync::Arc::new(seen);
+        self.reach_cache.insert(g, r.clone());
+        r
     }
 
     /// First live, acyclic operation node of a group (estimation uses one

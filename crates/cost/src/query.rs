@@ -32,10 +32,21 @@ use crate::model::Cost;
 /// A set of materialized equivalence nodes (canonical group ids).
 pub type Marking = BTreeSet<GroupId>;
 
-fn marking_hash(marked: &Marking) -> u64 {
+/// Hash of the marking slice a query on `g` can actually consult:
+/// `marked ∩ reachable(g)`, in the marking's sorted order. The guarded
+/// costing recursion below only tests membership of groups it visits, and
+/// it visits exactly the groups reachable from `g` — so the cost is a pure
+/// function of `(g, cols)` and this slice, and two *different* view sets
+/// that agree on it may share one cache entry. That is what lets the
+/// cross-worker [`crate::shared::SharedQueryCache`] produce hits during
+/// `search_view_sets`, where every worker prices a different marking.
+fn narrowed_marking_hash(ctx: &mut CostCtx<'_>, g: GroupId, marked: &Marking) -> u64 {
+    let reach = ctx.reachable(g);
     let mut h = DefaultHasher::new();
-    for g in marked {
-        g.0.hash(&mut h);
+    for m in marked {
+        if reach.contains(m) {
+            m.0.hash(&mut h);
+        }
     }
     h.finish()
 }
@@ -57,7 +68,8 @@ impl<'a> CostCtx<'a> {
     /// table first, then the cross-thread shared cache (if attached), and
     /// publishes fresh results to both.
     pub fn query_cost(&mut self, g: GroupId, cols: &[usize], marked: &Marking) -> Cost {
-        let key = (self.memo.find(g), cols.to_vec(), marking_hash(marked));
+        let g = self.memo.find(g);
+        let key = (g, cols.to_vec(), narrowed_marking_hash(self, g, marked));
         if let Some(&c) = self.query_cache().get(&key) {
             return c;
         }
@@ -401,6 +413,44 @@ mod tests {
         let mroot: Marking = [root].into_iter().collect();
         let marked_cost = ctx.full_eval_cost(root, &mroot);
         assert!(marked_cost < cost);
+    }
+
+    /// The shared-cache key hashes only `marked ∩ reachable(g)`: two
+    /// contexts pricing the same query under *different* view sets that
+    /// agree below the queried node share one entry — and the shared
+    /// answer equals the recomputed one.
+    #[test]
+    fn narrowed_keys_share_across_contexts_and_markings() {
+        let s = setup();
+        let model = PageIoCostModel::default();
+        let shared = crate::shared::SharedQueryCache::new();
+        let n3 = n3(&s.memo);
+        let n4 = n4(&s.memo);
+
+        let mut a = CostCtx::with_shared_cache(&s.memo, &s.cat, &model, shared.clone());
+        // Precondition for the test's logic: N4 (the Emp ⋈ Dept join) is
+        // not reachable from N3 (the aggregate over Emp), so marking it
+        // cannot affect a query on N3.
+        assert!(!a.reachable(n3).contains(&s.memo.find(n4)));
+
+        let m3: Marking = [s.memo.find(n3)].into_iter().collect();
+        let m34: Marking = [s.memo.find(n3), s.memo.find(n4)].into_iter().collect();
+
+        let priced = a.query_cost(n3, &[0], &m3);
+        assert_eq!(priced, Cost(2.0), "T1 pin: marked N3 is a lookup");
+        let (h0, m0) = shared.stats();
+        assert_eq!((h0, m0), (0, 1), "first pricing misses, then publishes");
+
+        // A *fresh* context under a *different* marking that agrees on
+        // reachable(N3): must hit the shared entry, not recompute.
+        let mut b = CostCtx::with_shared_cache(&s.memo, &s.cat, &model, shared.clone());
+        assert_eq!(b.query_cost(n3, &[0], &m34), priced);
+        let (h1, _) = shared.stats();
+        assert_eq!(h1, 1, "narrowed key collided across markings");
+
+        // And a marking that differs *inside* the slice must not collide.
+        let mut c = CostCtx::with_shared_cache(&s.memo, &s.cat, &model, shared);
+        assert_eq!(c.query_cost(n3, &[0], &Marking::new()), Cost(11.0));
     }
 
     #[test]

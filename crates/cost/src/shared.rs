@@ -1,23 +1,25 @@
 //! A query-cost cache shared across optimizer worker threads.
 //!
-//! Entries are keyed by `(canonical group, binding columns, marking
-//! hash)`; any context that prices the same posed query under the same
-//! marking can reuse another's work. The map is sharded by key hash so
-//! concurrent lookups rarely contend on the same lock.
+//! Entries are keyed by `(canonical group, binding columns, narrowed
+//! marking hash)`; any context that prices the same posed query under a
+//! marking that agrees on the queried group's *reachable slice* can reuse
+//! another's work. The map is sharded by key hash so concurrent lookups
+//! rarely contend on the same lock.
 //!
-//! Correctness note: a cached entry is keyed by the *full* marking hash, so
-//! sharing never changes a result — it only skips a recomputation that
-//! would have produced the identical `Cost`.
+//! Correctness note: the narrowed hash covers `marked ∩ reachable(g)` —
+//! exactly the memberships the costing recursion on `g` can test (see
+//! `narrowed_marking_hash` in `crate::query`) — so sharing never changes a
+//! result; it only skips a recomputation that would have produced the
+//! identical `Cost`.
 //!
 //! Effectiveness note, courtesy of the [`stats`](SharedQueryCache::stats)
-//! counters: because the key hashes the *entire* marking, two distinct
-//! view sets never collide, and the exhaustive search hands each view set
-//! to exactly one worker (whose per-context local cache absorbs repeats).
-//! Cross-worker hits therefore measure ~0 in `search_view_sets` today —
-//! the cache pays off only when the same marking is priced from separate
-//! contexts. Narrowing the key to the marking slice a query's plan can
-//! actually reach would unlock cross-set sharing; that is future work and
-//! must not change priced results.
+//! counters: the exhaustive search hands each view set to exactly one
+//! worker (whose per-context local cache absorbs repeats), so a key hashing
+//! the *entire* marking would never collide across workers and cross-worker
+//! hits would measure ~0. Narrowing is what makes distinct view sets that
+//! agree below the queried group land on the same entry, turning the
+//! shared cache into real cross-worker reuse (`bench_search` asserts the
+//! hit count is nonzero).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -29,7 +31,8 @@ use spacetime_obs::names as metric;
 
 use crate::model::Cost;
 
-/// Cache key: (canonical queried group, binding columns, marking hash).
+/// Cache key: (canonical queried group, binding columns, narrowed marking
+/// hash — see `narrowed_marking_hash` in `crate::query`).
 pub type QueryKey = (GroupId, Vec<usize>, u64);
 
 const DEFAULT_SHARDS: usize = 16;

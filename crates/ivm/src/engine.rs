@@ -68,6 +68,41 @@ struct PropagationCtx {
     chains: BTreeMap<String, BTreeMap<GroupId, ChainFingerprint>>,
     /// Cached runtime plan decisions (used by the batched mode).
     plans: PlanCache,
+    /// Lazily-built per-op expression nodes handed to `delta::propagate`
+    /// — pure functions of the (immutable) memo, cached so propagation
+    /// does not re-clone op/schema trees on every update.
+    nodes: NodeCache,
+}
+
+/// Interior-mutable `OpId -> Arc<ExprNode>` cache (see
+/// [`PropagationCtx::nodes`]).
+#[derive(Debug, Default)]
+struct NodeCache(std::sync::Mutex<BTreeMap<OpId, Arc<ExprNode>>>);
+
+impl Clone for NodeCache {
+    fn clone(&self) -> Self {
+        NodeCache(std::sync::Mutex::new(
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+        ))
+    }
+}
+
+impl NodeCache {
+    /// The detached single-op node for `op` (children stripped; the
+    /// propagation rules read only the op and the output schema).
+    fn node(&self, op: OpId, g: GroupId, memo: &Memo) -> Arc<ExprNode> {
+        let mut cache = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        cache
+            .entry(op)
+            .or_insert_with(|| {
+                Arc::new(ExprNode {
+                    op: memo.op(op).op.clone(),
+                    children: vec![],
+                    schema: memo.schema(g).clone(),
+                })
+            })
+            .clone()
+    }
 }
 
 /// Per-bucket I/O accounting for one propagated update.
@@ -188,8 +223,9 @@ pub struct IvmEngine {
     pub model: PageIoCostModel,
     /// Chosen update track per base table.
     tracks: BTreeMap<String, UpdateTrack>,
-    /// Key-elimination result per (table, aggregate op on that track).
-    complete: BTreeMap<(String, OpId), bool>,
+    /// Key-elimination result per table, per aggregate op on that track
+    /// (nested so the hot path can look up with a borrowed table name).
+    complete: BTreeMap<String, BTreeMap<OpId, bool>>,
     /// Reused propagation state (topo orders, leaf groups, plan cache).
     prop_ctx: PropagationCtx,
     /// Which data plane answers posed queries.
@@ -273,7 +309,7 @@ impl IvmEngine {
         // transactions; the optimizer's evaluation machinery picks the
         // same tracks its cost tables did).
         let mut tracks = BTreeMap::new();
-        let mut complete = BTreeMap::new();
+        let mut complete: BTreeMap<String, BTreeMap<OpId, bool>> = BTreeMap::new();
         let mut leaf_tables: Vec<String> = Vec::new();
         for &r in &roots {
             for t in self_leaf_tables(&memo, r) {
@@ -309,7 +345,7 @@ impl IvmEngine {
                     let ok = spacetime_optimizer::delta_group_complete(
                         &memo, catalog, &track, child, group_by, table,
                     );
-                    complete.insert((table.clone(), op), ok);
+                    complete.entry(table.clone()).or_default().insert(op, ok);
                 }
                 let _ = g;
             }
@@ -778,20 +814,18 @@ impl IvmEngine {
                 return Ok(Some(d));
             }
         }
-        let node = Arc::new(ExprNode {
-            op: self.memo.op(op).op.clone(),
-            children: vec![],
-            schema: self.memo.schema(g).clone(),
-        });
+        let node = self.prop_ctx.nodes.node(op, g, &self.memo);
         let self_mv = self
             .materialized
             .get(&g)
             .map(|t| catalog.table(t))
             .transpose()?;
-        let complete = *self
+        let complete = self
             .complete
-            .get(&(table.to_string(), op))
-            .unwrap_or(&false);
+            .get(table)
+            .and_then(|per_op| per_op.get(&op))
+            .copied()
+            .unwrap_or(false);
         let mut access = EngineAccess {
             exec,
             ctx,

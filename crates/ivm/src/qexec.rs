@@ -35,7 +35,7 @@ pub struct PlanCache {
     full: Mutex<HashMap<GroupId, Option<OpId>>>,
 }
 
-type BoundPlans = HashMap<(GroupId, Vec<usize>), Option<OpId>>;
+type BoundPlans = HashMap<GroupId, HashMap<Vec<usize>, Option<OpId>>>;
 
 impl Clone for PlanCache {
     // Manual because `Mutex` is not `Clone`: snapshot the cached decisions.
@@ -160,7 +160,9 @@ impl<'a> QueryExec<'a> {
         if let Some(pc) = self.plans {
             obs::counter_add(metric::PLAN_CACHE_LOOKUPS, 1);
             let cache = pc.bound.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(&choice) = cache.get(&(g, cols.to_vec())) {
+            // Borrowed lookup: `Vec<usize>: Borrow<[usize]>`, so a cache
+            // hit never allocates a key.
+            if let Some(&choice) = cache.get(&g).and_then(|per_cols| per_cols.get(cols)) {
                 obs::counter_add(metric::PLAN_CACHE_HITS, 1);
                 return choice;
             }
@@ -178,7 +180,9 @@ impl<'a> QueryExec<'a> {
             pc.bound
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .insert((g, cols.to_vec()), choice);
+                .entry(g)
+                .or_default()
+                .insert(cols.to_vec(), choice);
         }
         choice
     }
@@ -277,13 +281,15 @@ impl<'a> QueryExec<'a> {
         ctx: &mut CostCtx<'_>,
         io: &mut IoMeter,
     ) -> StorageResult<Bag> {
-        let node = self.memo.op(op).op.clone();
+        // Borrow the op node rather than cloning it: `OpKind` owns
+        // predicate/expression trees, and this runs once per posed query.
+        let node = &self.memo.op(op).op;
         let children = self.memo.op_children(op);
         match node {
-            OpKind::Scan { table } => self.stored_lookup(&table, cols, key, io),
+            OpKind::Scan { table } => self.stored_lookup(table, cols, key, io),
             OpKind::Select { predicate } => {
                 let r = self.query(children[0], cols, key, ctx, io)?;
-                filter_pred(&r, &predicate)
+                filter_pred(&r, predicate)
             }
             OpKind::Distinct => {
                 let r = self.query(children[0], cols, key, ctx, io)?;
@@ -301,7 +307,7 @@ impl<'a> QueryExec<'a> {
                     Some(m) => self.query(children[0], &m, key, ctx, io)?,
                     None => self.full_eval(children[0], ctx, io)?,
                 };
-                let projected = spacetime_algebra::eval::project_bag(&input, &exprs)?;
+                let projected = spacetime_algebra::eval::project_bag(&input, exprs)?;
                 Ok(filter_binding(&projected, cols, key))
             }
             OpKind::Aggregate { group_by, aggs } => {
@@ -311,10 +317,10 @@ impl<'a> QueryExec<'a> {
                     Some(m) => self.query(children[0], &m, key, ctx, io)?,
                     None => self.full_eval(children[0], ctx, io)?,
                 };
-                let out = aggregate_bag(&input, &group_by, &aggs)?;
+                let out = aggregate_bag(&input, group_by, aggs)?;
                 Ok(filter_binding(&out, cols, key))
             }
-            OpKind::Join { condition } => self.query_join(&condition, children, cols, key, ctx, io),
+            OpKind::Join { condition } => self.query_join(condition, children, cols, key, ctx, io),
         }
     }
 
@@ -353,15 +359,18 @@ impl<'a> QueryExec<'a> {
             (false, self.query(b, &c, &k, ctx, io)?)
         };
 
+        let (my_cols, other_cols, other_group) = if drive_left {
+            (&lcols, &rcols, b)
+        } else {
+            (&rcols, &lcols, a)
+        };
         let mut cache: BTreeMap<Vec<Value>, Bag> = BTreeMap::new();
         let mut out = Bag::new();
+        // One probe buffer reused across outer tuples; match bags are
+        // borrowed from the cache, never cloned per tuple.
+        let mut probe: Vec<Value> = Vec::with_capacity(my_cols.len());
         for (t, c) in outer.iter() {
-            let (my_cols, other_cols, other_group) = if drive_left {
-                (&lcols, &rcols, b)
-            } else {
-                (&rcols, &lcols, a)
-            };
-            let mut probe = Vec::with_capacity(my_cols.len());
+            probe.clear();
             let mut null = false;
             for &mc in my_cols.iter() {
                 let v = t.get(mc).cloned().unwrap_or(Value::Null);
@@ -374,14 +383,11 @@ impl<'a> QueryExec<'a> {
             if null {
                 continue;
             }
-            let matches = match cache.get(&probe) {
-                Some(m) => m.clone(),
-                None => {
-                    let m = self.query(other_group, other_cols, &probe, ctx, io)?;
-                    cache.insert(probe.clone(), m.clone());
-                    m
-                }
-            };
+            if !cache.contains_key(probe.as_slice()) {
+                let m = self.query(other_group, other_cols, &probe, ctx, io)?;
+                cache.insert(probe.clone(), m);
+            }
+            let matches = &cache[probe.as_slice()];
             for (o, oc) in matches.iter() {
                 let joined = if drive_left { t.concat(o) } else { o.concat(t) };
                 if let Some(res) = &condition.residual {
@@ -442,20 +448,20 @@ impl<'a> QueryExec<'a> {
         let Some(op) = self.best_full_op(g, ctx) else {
             return Ok(Bag::new());
         };
-        let node = self.memo.op(op).op.clone();
+        let node = &self.memo.op(op).op;
         let children = self.memo.op_children(op);
         match node {
             OpKind::Scan { table } => {
-                let t = self.catalog.table(&table)?;
+                let t = self.catalog.table(table)?;
                 Ok(t.relation.scan(io).clone())
             }
             OpKind::Select { predicate } => {
                 let input = self.full_eval(children[0], ctx, io)?;
-                filter_pred(&input, &predicate)
+                filter_pred(&input, predicate)
             }
             OpKind::Project { exprs } => {
                 let input = self.full_eval(children[0], ctx, io)?;
-                spacetime_algebra::eval::project_bag(&input, &exprs)
+                spacetime_algebra::eval::project_bag(&input, exprs)
             }
             OpKind::Distinct => {
                 let input = self.full_eval(children[0], ctx, io)?;
@@ -463,12 +469,12 @@ impl<'a> QueryExec<'a> {
             }
             OpKind::Aggregate { group_by, aggs } => {
                 let input = self.full_eval(children[0], ctx, io)?;
-                aggregate_bag(&input, &group_by, &aggs)
+                aggregate_bag(&input, group_by, aggs)
             }
             OpKind::Join { condition } => {
                 let left = self.full_eval(children[0], ctx, io)?;
                 let right = self.full_eval(children[1], ctx, io)?;
-                join_bags(&left, &right, &condition)
+                join_bags(&left, &right, condition)
             }
         }
     }

@@ -5,28 +5,92 @@
 //! page per matching tuple. [`HashIndex`] stores the matching tuples (with
 //! multiplicities) directly under each key; the I/O charging happens in
 //! [`crate::relation::Relation`], which knows when an access is index-backed.
+//!
+//! ## Representation
+//!
+//! Buckets live in [`SHARD_COUNT`] copy-on-write shards routed by the
+//! fixed-seed [`crate::fx`] hash of the key, mirroring
+//! [`crate::bag::Bag`]'s large representation: cloning an index is one
+//! `Arc` bump per shard, and a mutation deep-copies only the shard its key
+//! routes to. Single-column indices — the overwhelmingly common case —
+//! take a specialized path keyed by [`Value`] directly, so neither probes
+//! nor maintenance ever allocate a key slice; composite indices accept
+//! borrowed `&[Value]` probes (the owned `Box<[Value]>` key is built only
+//! when maintenance actually inserts a new bucket).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::bag::Bag;
+use crate::fx::{fx_hash_one, FxHashMap, FxHasher};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
+/// Number of bucket shards (power of two).
+const SHARD_COUNT: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Buckets {
+    /// Single-column key: keyed by the value itself, no slice allocation
+    /// on any path.
+    Single(Vec<Arc<FxHashMap<Value, Bag>>>),
+    /// Composite key: probed by borrowed `&[Value]`.
+    Multi(Vec<Arc<FxHashMap<Box<[Value]>, Bag>>>),
+}
+
 /// A hash index mapping a key (values of `key_cols`) to the bag of matching
 /// tuples.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct HashIndex {
     key_cols: Vec<usize>,
-    buckets: HashMap<Box<[Value]>, Bag>,
+    buckets: Buckets,
+}
+
+impl Default for HashIndex {
+    fn default() -> Self {
+        HashIndex::new(Vec::new())
+    }
+}
+
+fn empty_shards<K, V>() -> Vec<Arc<FxHashMap<K, V>>> {
+    (0..SHARD_COUNT)
+        .map(|_| Arc::new(FxHashMap::default()))
+        .collect()
+}
+
+/// Shard routing for a borrowed key slice. Must agree with
+/// [`shard_of_tuple_key`]: both hash the key exactly as `<[Value]>::hash`
+/// does (length prefix, then elements).
+#[inline]
+fn shard_of_slice(key: &[Value]) -> usize {
+    (fx_hash_one(key) as usize) & (SHARD_COUNT - 1)
+}
+
+/// Shard routing for a tuple's key columns, without materializing the key.
+#[inline]
+fn shard_of_tuple_key(t: &Tuple, cols: &[usize]) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    h.write_usize(cols.len());
+    for &c in cols {
+        t.get(c).unwrap_or(&Value::Null).hash(&mut h);
+    }
+    (h.finish() as usize) & (SHARD_COUNT - 1)
+}
+
+#[inline]
+fn shard_of_value(v: &Value) -> usize {
+    (fx_hash_one(v) as usize) & (SHARD_COUNT - 1)
 }
 
 impl HashIndex {
     /// Create an empty index on the given column positions.
     pub fn new(key_cols: Vec<usize>) -> Self {
-        HashIndex {
-            key_cols,
-            buckets: HashMap::new(),
-        }
+        let buckets = if key_cols.len() == 1 {
+            Buckets::Single(empty_shards())
+        } else {
+            Buckets::Multi(empty_shards())
+        };
+        HashIndex { key_cols, buckets }
     }
 
     /// The indexed column positions.
@@ -34,7 +98,9 @@ impl HashIndex {
         &self.key_cols
     }
 
-    /// Extract this index's key from a tuple.
+    /// Extract this index's key from a tuple. Allocates; maintenance and
+    /// probe paths avoid this — it exists for callers that need an owned
+    /// key (e.g. collecting touched keys).
     pub fn key_of(&self, t: &Tuple) -> Box<[Value]> {
         self.key_cols
             .iter()
@@ -42,47 +108,111 @@ impl HashIndex {
             .collect()
     }
 
+    /// Whether two tuples disagree on this index's key (allocation-free
+    /// replacement for `key_of(a) != key_of(b)`).
+    pub fn key_changed(&self, a: &Tuple, b: &Tuple) -> bool {
+        self.key_cols.iter().any(|&c| {
+            a.get(c).unwrap_or(&Value::Null) != b.get(c).unwrap_or(&Value::Null)
+        })
+    }
+
     /// Insert `n` copies of a tuple.
     pub fn insert(&mut self, t: &Tuple, n: u64) {
         if n == 0 {
             return;
         }
-        self.buckets
-            .entry(self.key_of(t))
-            .or_default()
-            .insert(t.clone(), n);
+        match &mut self.buckets {
+            Buckets::Single(shards) => {
+                let col = self.key_cols[0];
+                let key = t.get(col).unwrap_or(&Value::Null);
+                let map = Arc::make_mut(&mut shards[shard_of_value(key)]);
+                match map.get_mut(key) {
+                    Some(bucket) => bucket.insert(t.clone(), n),
+                    None => {
+                        let mut bucket = Bag::new();
+                        bucket.insert(t.clone(), n);
+                        map.insert(key.clone(), bucket);
+                    }
+                }
+            }
+            Buckets::Multi(shards) => {
+                let s = shard_of_tuple_key(t, &self.key_cols);
+                let map = Arc::make_mut(&mut shards[s]);
+                let key: Box<[Value]> = self
+                    .key_cols
+                    .iter()
+                    .map(|&c| t.get(c).cloned().unwrap_or(Value::Null))
+                    .collect();
+                map.entry(key).or_default().insert(t.clone(), n);
+            }
+        }
     }
 
     /// Remove `n` copies of a tuple; the caller guarantees presence (the
     /// owning relation's bag is the source of truth).
     pub fn remove(&mut self, t: &Tuple, n: u64) {
-        let key = self.key_of(t);
-        if let Some(bucket) = self.buckets.get_mut(&key) {
-            bucket.remove_up_to(t, n);
-            if bucket.is_empty() {
-                self.buckets.remove(&key);
+        match &mut self.buckets {
+            Buckets::Single(shards) => {
+                let col = self.key_cols[0];
+                let key = t.get(col).unwrap_or(&Value::Null);
+                let map = Arc::make_mut(&mut shards[shard_of_value(key)]);
+                if let Some(bucket) = map.get_mut(key) {
+                    bucket.remove_up_to(t, n);
+                    if bucket.is_empty() {
+                        map.remove(key);
+                    }
+                }
+            }
+            Buckets::Multi(shards) => {
+                let s = shard_of_tuple_key(t, &self.key_cols);
+                let map = Arc::make_mut(&mut shards[s]);
+                let key: Box<[Value]> = self
+                    .key_cols
+                    .iter()
+                    .map(|&c| t.get(c).cloned().unwrap_or(Value::Null))
+                    .collect();
+                if let Some(bucket) = map.get_mut(&key) {
+                    bucket.remove_up_to(t, n);
+                    if bucket.is_empty() {
+                        map.remove(&key);
+                    }
+                }
             }
         }
     }
 
-    /// All tuples matching `key`, as a bag (empty if none).
+    /// All tuples matching `key`, as a bag (empty if none). The key is
+    /// borrowed; no allocation on this path.
     pub fn probe(&self, key: &[Value]) -> Option<&Bag> {
-        self.buckets.get(key)
+        match &self.buckets {
+            Buckets::Single(shards) => {
+                let k = key.first()?;
+                shards[shard_of_value(k)].get(k)
+            }
+            Buckets::Multi(shards) => shards[shard_of_slice(key)].get(key),
+        }
     }
 
     /// Number of tuples (counting multiplicity) under `key`.
     pub fn probe_count(&self, key: &[Value]) -> u64 {
-        self.buckets.get(key).map_or(0, |b| b.len())
+        self.probe(key).map_or(0, |b| b.len())
     }
 
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
-        self.buckets.len()
+        match &self.buckets {
+            Buckets::Single(shards) => shards.iter().map(|s| s.len()).sum(),
+            Buckets::Multi(shards) => shards.iter().map(|s| s.len()).sum(),
+        }
     }
 
     /// Rebuild from scratch over a bag.
     pub fn rebuild(&mut self, data: &Bag) {
-        self.buckets.clear();
+        self.buckets = if self.key_cols.len() == 1 {
+            Buckets::Single(empty_shards())
+        } else {
+            Buckets::Multi(empty_shards())
+        };
         for (t, c) in data.iter() {
             self.insert(t, c);
         }
@@ -139,6 +269,31 @@ mod tests {
     }
 
     #[test]
+    fn composite_shard_routing_matches_slice_routing() {
+        // Maintenance routes by tuple columns, probes by key slice; the two
+        // must land in the same shard for every key shape.
+        let tuples = [
+            tuple!["a", 1, 10],
+            tuple![2.5, "b", 3],
+            tuple![Value::Null, "x", -7],
+            tuple!["long-department-name-here", 0, 0],
+        ];
+        for t in &tuples {
+            for cols in [vec![0usize, 1], vec![2, 0], vec![1, 2, 0]] {
+                let key: Vec<Value> = cols
+                    .iter()
+                    .map(|&c| t.get(c).cloned().unwrap_or(Value::Null))
+                    .collect();
+                assert_eq!(
+                    shard_of_tuple_key(t, &cols),
+                    shard_of_slice(&key),
+                    "routing diverged for cols {cols:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn rebuild_matches_incremental() {
         let data: Bag = [(tuple!["x", 1], 2), (tuple!["y", 2], 1)]
             .into_iter()
@@ -154,5 +309,28 @@ mod tests {
             b.probe_count(&[Value::str("x")])
         );
         assert_eq!(a.distinct_keys(), b.distinct_keys());
+    }
+
+    #[test]
+    fn key_changed_agrees_with_key_of() {
+        let idx = HashIndex::new(vec![1, 2]);
+        let a = tuple!["alice", "Sales", 100];
+        let b = tuple!["alice", "Sales", 130];
+        let c = tuple!["alice", "Eng", 100];
+        assert_eq!(idx.key_changed(&a, &b), idx.key_of(&a) != idx.key_of(&b));
+        assert_eq!(idx.key_changed(&a, &c), idx.key_of(&a) != idx.key_of(&c));
+        assert!(idx.key_changed(&a, &b), "salary is part of this key");
+        let dname_only = HashIndex::new(vec![1]);
+        assert!(!dname_only.key_changed(&a, &b));
+        assert!(dname_only.key_changed(&a, &c));
+    }
+
+    #[test]
+    fn clone_shares_shards_until_mutation() {
+        let a = sample();
+        let mut b = a.clone();
+        b.insert(&tuple!["dave", "Eng", 90], 1);
+        assert_eq!(a.probe_count(&[Value::str("Eng")]), 1, "original untouched");
+        assert_eq!(b.probe_count(&[Value::str("Eng")]), 2);
     }
 }

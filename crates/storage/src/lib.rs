@@ -11,6 +11,10 @@
 //!
 //! * [`value`] — the SQL-ish value domain ([`Value`], [`DataType`]) with a
 //!   total order suitable for grouping and indexing.
+//! * [`smallstr`] — compact strings ([`SmallStr`]): small-string inlining
+//!   plus an interned spill path ([`Interner`]).
+//! * [`fx`] — the deterministic fixed-seed hasher used by hot-path maps
+//!   and shard routing.
 //! * [`tuple`] — cheaply-clonable tuples ([`Tuple`]).
 //! * [`schema`] — column/schema metadata and name resolution.
 //! * [`bag`] — multisets of tuples ([`Bag`]); all relations and views have
@@ -33,10 +37,12 @@ pub mod bag;
 pub mod catalog;
 pub mod error;
 pub mod fault;
+pub mod fx;
 pub mod index;
 pub mod io;
 pub mod relation;
 pub mod schema;
+pub mod smallstr;
 pub mod stats;
 pub mod tuple;
 pub mod value;
@@ -46,8 +52,10 @@ pub use catalog::{Catalog, CatalogSnapshot, Table};
 pub use error::{StorageError, StorageResult};
 pub use index::HashIndex;
 pub use io::{IoMeter, IoSnapshot};
+pub use fx::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use relation::Relation;
 pub use schema::{Column, Schema};
+pub use smallstr::{Interner, SmallStr};
 pub use stats::TableStats;
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

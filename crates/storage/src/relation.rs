@@ -233,7 +233,7 @@ impl Relation {
         }
         for idx in &mut self.indexes {
             io.index_probe();
-            if idx.key_of(old) != idx.key_of(&new) {
+            if idx.key_changed(old, &new) {
                 io.index_write(1);
             }
             idx.remove(old, n);

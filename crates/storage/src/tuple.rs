@@ -13,9 +13,20 @@ use crate::value::Value;
 pub struct Tuple(Arc<[Value]>);
 
 impl Tuple {
-    /// Build a tuple from values.
-    pub fn new(values: impl Into<Vec<Value>>) -> Self {
-        Tuple(values.into().into())
+    /// Build a tuple from values. Accepts anything convertible straight to
+    /// the shared slice (a `Vec`, a boxed slice, an array, `&[Value]`) —
+    /// the old `impl Into<Vec<Value>>` bound forced every caller through an
+    /// intermediate `Vec` even when one already existed, paying two
+    /// allocations per tuple.
+    pub fn new(values: impl Into<Arc<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// Build a tuple directly from an iterator of values (no intermediate
+    /// collection at the call site; prefer this over building a `Vec` only
+    /// to convert it).
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Self {
+        values.into_iter().collect()
     }
 
     /// Number of fields.
@@ -86,7 +97,7 @@ impl FromIterator<Value> for Tuple {
 #[macro_export]
 macro_rules! tuple {
     ($($v:expr),* $(,)?) => {
-        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+        $crate::tuple::Tuple::new([$($crate::value::Value::from($v)),*])
     };
 }
 

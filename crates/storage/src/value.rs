@@ -15,9 +15,9 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
 
 use crate::error::{StorageError, StorageResult};
+use crate::smallstr::SmallStr;
 
 /// The type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,14 +54,23 @@ pub enum Value {
     Int(i64),
     /// A 64-bit float.
     Double(f64),
-    /// A string; `Arc` keeps tuple cloning cheap.
-    Str(Arc<str>),
+    /// A string; short content is stored inline, long content is interned
+    /// (see [`SmallStr`]).
+    Str(SmallStr),
 }
 
 impl Value {
     /// Convenience constructor for strings.
-    pub fn str(s: impl Into<Arc<str>>) -> Self {
-        Value::Str(s.into())
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(SmallStr::new(s.as_ref()))
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
     }
 
     /// Whether this value is NULL.
