@@ -1,20 +1,31 @@
 #!/usr/bin/env python3
-"""Throughput ratchet for the IVM data-plane smoke benchmark.
+"""Throughput and allocation ratchet for the IVM data-plane smoke benchmark.
 
-Compares a fresh ``BENCH_ivm.json`` smoke run against the committed
-smoke baseline (``ci/bench_ivm_smoke_baseline.json``) and fails if any
-scenario's batched-mode ``txns_per_sec`` fell below a generous fraction
-of the baseline. The tolerance is deliberately loose: smoke runs last
-milliseconds and CI hardware differs from the machine that recorded the
-baseline, so this is a guard against order-of-magnitude regressions
-(e.g. reintroducing per-probe allocation or deep-clone commits on the
-data plane), not a precision benchmark.
+Compares a fresh ``BENCH_ivm.json`` smoke run against the committed smoke
+baseline (``ci/bench_ivm_smoke_baseline.json``) across every scenario
+(paper / scaling / wide) and every propagation mode present in both files
+(per_key / batched / parallel / fused), and fails if any ``txns_per_sec``
+fell below a generous fraction of the baseline. The tolerance is
+deliberately loose: smoke runs last milliseconds and CI hardware differs
+from the machine that recorded the baseline, so this is a guard against
+order-of-magnitude regressions (e.g. reintroducing per-probe allocation
+or deep-clone commits on the data plane), not a precision benchmark.
 
-Usage: throughput_ratchet.py <fresh.json> <baseline.json> [min_ratio]
+``allocs_per_txn`` is only present in runs built with the counting
+allocator (``--features alloc-stats``); both files may omit it. With
+``--alloc-check`` the ratchet additionally requires the fresh run's
+*fused* ``allocs_per_txn`` to sit strictly below the committed *per_key*
+baseline in every scenario — allocation counts are workload-determined,
+not hardware-determined, so this is a tight assertion that the arena and
+fused kernels actually absorb hot-path allocation.
+
+Usage: throughput_ratchet.py <fresh.json> <baseline.json> [min_ratio] [--alloc-check]
 """
 
 import json
 import sys
+
+MODES = ("per_key", "batched", "parallel", "fused")
 
 
 def scenarios(path):
@@ -25,33 +36,80 @@ def scenarios(path):
     return {s["name"]: s for s in doc["scenarios"]}
 
 
-def main():
-    if len(sys.argv) < 3:
-        sys.exit(__doc__)
-    fresh_path, base_path = sys.argv[1], sys.argv[2]
-    min_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 0.2
-
-    fresh = scenarios(fresh_path)
-    base = scenarios(base_path)
-
+def throughput_ratchet(fresh, base, min_ratio):
     failures = []
     for name, b in sorted(base.items()):
         if name not in fresh:
             failures.append(f"scenario {name!r} missing from fresh run")
             continue
-        got = fresh[name]["batched"]["txns_per_sec"]
-        want = b["batched"]["txns_per_sec"]
-        ratio = got / want if want else float("inf")
-        status = "ok" if ratio >= min_ratio else "REGRESSED"
-        print(
-            f"{name:10} batched {got:>10.1f} txn/s  baseline {want:>10.1f}"
-            f"  ratio {ratio:5.2f}  (floor {min_ratio})  {status}"
-        )
-        if ratio < min_ratio:
-            failures.append(
-                f"scenario {name!r}: batched {got:.1f} txn/s is below "
-                f"{min_ratio} x baseline {want:.1f}"
+        for mode in MODES:
+            if mode not in b or mode not in fresh[name]:
+                # Older baselines predate the fused mode; skip rather
+                # than force a flag-day baseline refresh.
+                continue
+            got = fresh[name][mode]["txns_per_sec"]
+            want = b[mode]["txns_per_sec"]
+            ratio = got / want if want else float("inf")
+            status = "ok" if ratio >= min_ratio else "REGRESSED"
+            print(
+                f"{name:10} {mode:9} {got:>10.1f} txn/s  baseline {want:>10.1f}"
+                f"  ratio {ratio:5.2f}  (floor {min_ratio})  {status}"
             )
+            if ratio < min_ratio:
+                failures.append(
+                    f"scenario {name!r} mode {mode!r}: {got:.1f} txn/s is below "
+                    f"{min_ratio} x baseline {want:.1f}"
+                )
+    return failures
+
+
+def alloc_ratchet(fresh, base):
+    failures = []
+    for name, b in sorted(base.items()):
+        if name not in fresh:
+            failures.append(f"scenario {name!r} missing from fresh run")
+            continue
+        want = b.get("per_key", {}).get("allocs_per_txn")
+        got = fresh[name].get("fused", {}).get("allocs_per_txn")
+        if want is None:
+            failures.append(
+                f"scenario {name!r}: baseline has no per_key allocs_per_txn "
+                "(refresh it from an --features alloc-stats build)"
+            )
+            continue
+        if got is None:
+            failures.append(
+                f"scenario {name!r}: fresh run has no fused allocs_per_txn "
+                "(was it built with --features alloc-stats?)"
+            )
+            continue
+        status = "ok" if got < want else "REGRESSED"
+        print(
+            f"{name:10} fused {got:>10.1f} allocs/txn  per_key baseline "
+            f"{want:>10.1f}  {status}"
+        )
+        if got >= want:
+            failures.append(
+                f"scenario {name!r}: fused {got:.1f} allocs/txn is not strictly "
+                f"below the per_key baseline {want:.1f}"
+            )
+    return failures
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--alloc-check"]
+    alloc_check = "--alloc-check" in sys.argv[1:]
+    if len(args) < 2:
+        sys.exit(__doc__)
+    fresh_path, base_path = args[0], args[1]
+    min_ratio = float(args[2]) if len(args) > 2 else 0.2
+
+    fresh = scenarios(fresh_path)
+    base = scenarios(base_path)
+
+    failures = throughput_ratchet(fresh, base, min_ratio)
+    if alloc_check:
+        failures += alloc_ratchet(fresh, base)
 
     if failures:
         sys.exit("throughput ratchet failed:\n  " + "\n  ".join(failures))

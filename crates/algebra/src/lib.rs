@@ -20,11 +20,15 @@
 //!   elimination).
 //! * [`eval`] — the executor: evaluates a tree to a [`Bag`], selecting
 //!   index-backed access paths where the physical model provides them.
+//! * [`kernel`] — fused streaming kernels: `Select`/`Project` chains
+//!   compiled into flat stage pipelines that push borrowed rows without
+//!   materializing per-operator intermediates (`eval` stays the oracle).
 //!
 //! [`Bag`]: spacetime_storage::Bag
 
 pub mod equiv;
 pub mod eval;
+pub mod kernel;
 pub mod keys;
 pub mod ops;
 pub mod scalar;
@@ -32,6 +36,7 @@ pub mod tree;
 
 pub use equiv::{column_equivalences, ColClasses};
 pub use eval::{eval, eval_uncharged};
+pub use kernel::{FusedProgram, KernelScratch, KernelStage, PairOutcome};
 pub use keys::{cols_contain_key, derive_keys, Key};
 pub use ops::{AggExpr, AggFunc, JoinCondition, OpKind};
 pub use scalar::ScalarDisplay;

@@ -167,22 +167,28 @@ impl ScalarExpr {
     /// Evaluate against a tuple, producing a value (NULL for unknown
     /// comparisons).
     pub fn eval(&self, tuple: &Tuple) -> StorageResult<Value> {
+        self.eval_slice(tuple.values())
+    }
+
+    /// [`ScalarExpr::eval`] over a borrowed value slice. The fused kernel
+    /// path evaluates rows held in arena scratch buffers, which never
+    /// become `Tuple`s unless they survive the whole chain.
+    pub fn eval_slice(&self, row: &[Value]) -> StorageResult<Value> {
         match self {
             ScalarExpr::Col(i) => {
-                tuple
-                    .get(*i)
+                row.get(*i)
                     .cloned()
                     .ok_or_else(|| StorageError::SchemaMismatch {
                         detail: format!(
                             "column position {i} out of range (arity {})",
-                            tuple.arity()
+                            row.len()
                         ),
                     })
             }
             ScalarExpr::Lit(v) => Ok(v.clone()),
             ScalarExpr::Bin { op, left, right } => {
-                let l = left.eval(tuple)?;
-                let r = right.eval(tuple)?;
+                let l = left.eval_slice(row)?;
+                let r = right.eval_slice(row)?;
                 match op {
                     BinOp::Add => l.add(&r),
                     BinOp::Sub => l.sub(&r),
@@ -191,8 +197,8 @@ impl ScalarExpr {
                 }
             }
             ScalarExpr::Cmp { op, left, right } => {
-                let l = left.eval(tuple)?;
-                let r = right.eval(tuple)?;
+                let l = left.eval_slice(row)?;
+                let r = right.eval_slice(row)?;
                 Ok(match l.sql_cmp(&r) {
                     None => Value::Null,
                     Some(ord) => Value::Bool(op.test(ord)),
@@ -201,7 +207,7 @@ impl ScalarExpr {
             ScalarExpr::And(parts) => {
                 let mut saw_null = false;
                 for p in parts {
-                    match p.eval(tuple)? {
+                    match p.eval_slice(row)? {
                         Value::Bool(false) => return Ok(Value::Bool(false)),
                         Value::Bool(true) => {}
                         Value::Null => saw_null = true,
@@ -221,7 +227,7 @@ impl ScalarExpr {
             ScalarExpr::Or(parts) => {
                 let mut saw_null = false;
                 for p in parts {
-                    match p.eval(tuple)? {
+                    match p.eval_slice(row)? {
                         Value::Bool(true) => return Ok(Value::Bool(true)),
                         Value::Bool(false) => {}
                         Value::Null => saw_null = true,
@@ -238,14 +244,26 @@ impl ScalarExpr {
                     Value::Bool(false)
                 })
             }
-            ScalarExpr::Not(inner) => match inner.eval(tuple)? {
+            ScalarExpr::Not(inner) => match inner.eval_slice(row)? {
                 Value::Bool(b) => Ok(Value::Bool(!b)),
                 Value::Null => Ok(Value::Null),
                 other => Err(StorageError::TypeError(format!(
                     "NOT operand evaluated to non-boolean {other}"
                 ))),
             },
-            ScalarExpr::IsNull(inner) => Ok(Value::Bool(inner.eval(tuple)?.is_null())),
+            ScalarExpr::IsNull(inner) => Ok(Value::Bool(inner.eval_slice(row)?.is_null())),
+        }
+    }
+
+    /// [`ScalarExpr::eval_predicate`] over a borrowed value slice (the
+    /// fused kernel filter path).
+    pub fn eval_predicate_slice(&self, row: &[Value]) -> StorageResult<bool> {
+        match self.eval_slice(row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(StorageError::TypeError(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
         }
     }
 

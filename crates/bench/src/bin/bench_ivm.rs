@@ -1,17 +1,19 @@
 //! E-IVM driver: sustained-throughput benchmark for the delta-propagation
-//! data plane. Streams a mixed insert/delete/modify workload through three
+//! data plane. Streams a mixed insert/delete/modify workload through four
 //! identical databases — `PerKey` propagation, the default `Batched` mode,
-//! and `Batched` under the parallel pipeline (`ExecutionMode::Parallel`) —
-//! asserting after every transaction that all three produce bit-identical
-//! `UpdateReport` counters, and at the end that every materialized table
-//! (roots and auxiliaries) holds identical contents, verified against full
-//! recomputation.
+//! `Batched` under the parallel pipeline (`ExecutionMode::Parallel`), and
+//! the `Fused` streaming-kernel mode — asserting after every transaction
+//! that all four produce bit-identical `UpdateReport` counters, and at the
+//! end that every materialized table (roots and auxiliaries) holds
+//! identical contents, verified against full recomputation.
 //!
-//! Batching and the pipeline are wall-clock optimisations only: they must
-//! never change the deltas or the charged I/O (DESIGN.md §10–§11). This
-//! binary is the executable form of that invariant, plus the throughput
-//! numbers. The wide scenario additionally sweeps pinned pool widths
-//! (1/2/4/8 threads) for the E-PIPE thread-scaling table.
+//! Batching, the pipeline, and kernel fusion are wall-clock optimisations
+//! only: they must never change the deltas or the charged I/O (DESIGN.md
+//! §10–§11, §15). This binary is the executable form of that invariant,
+//! plus the throughput numbers. The wide scenario additionally sweeps
+//! pinned pool widths (1/2/4/8 threads) for the E-PIPE thread-scaling
+//! table. Each mode also reports its plan/gate/commit phase split
+//! (`Database::phase_totals`), cross-checked against the measured wall.
 //!
 //! ```text
 //! cargo run --release -p spacetime-bench --bin bench_ivm            # full
@@ -28,7 +30,8 @@ use spacetime_bench::scenarios::build_wide_pipeline_db;
 use spacetime_bench::workload::{load_paper_data, mixed_workload, paper_schema_db};
 use spacetime_cost::TransactionType;
 use spacetime_ivm::{
-    verify_all_views, Database, ExecutionMode, PipelinePool, PropagationMode, ViewSelection,
+    verify_all_views, Database, ExecutionMode, PhaseTotals, PipelinePool, PropagationMode,
+    ViewSelection,
 };
 use spacetime_obs::quantile_sorted;
 
@@ -112,6 +115,9 @@ struct ModeRun {
     /// Heap allocations attributed to this mode's `apply_delta` calls
     /// (zero unless built with `--features alloc-stats`).
     allocs: u64,
+    /// Plan/gate/commit attribution of the measured wall
+    /// (`Database::phase_totals`).
+    phases: PhaseTotals,
 }
 
 impl ModeRun {
@@ -144,6 +150,7 @@ struct Measured {
     per_key: ModeRun,
     batched: ModeRun,
     parallel: ModeRun,
+    fused: ModeRun,
     reports_identical: bool,
     views_identical: bool,
     verified: bool,
@@ -215,6 +222,10 @@ fn run_scenario(s: Scenario) -> Measured {
     let mut db_b = build_db(&s, PropagationMode::Batched);
     let mut db_par = build_db(&s, PropagationMode::Batched);
     db_par.set_execution_mode(ExecutionMode::Parallel);
+    let mut db_fu = build_db(&s, PropagationMode::Fused);
+    for db in [&mut db_pk, &mut db_b, &mut db_par, &mut db_fu] {
+        db.set_phase_stats(true);
+    }
 
     let mut reports_identical = true;
     let zero = || ModeRun {
@@ -224,32 +235,34 @@ fn run_scenario(s: Scenario) -> Measured {
         queries_posed: 0,
         latencies_ns: Vec::new(),
         allocs: 0,
+        phases: PhaseTotals::default(),
     };
-    let (mut pk, mut ba, mut par) = (zero(), zero(), zero());
+    let (mut pk, mut ba, mut par, mut fu) = (zero(), zero(), zero(), zero());
+    // One timed `apply_delta` plus its per-run bookkeeping.
+    let measure = |db: &mut Database, run: &mut ModeRun, table: &str, delta| {
+        let a0 = alloc_stats::count();
+        let t0 = Instant::now();
+        let r = db.apply_delta(table, delta).expect("apply_delta");
+        let dt = t0.elapsed();
+        run.wall += dt;
+        run.latencies_ns.push(dt.as_nanos() as u64);
+        run.allocs += alloc_stats::count() - a0;
+        run.io_total += r.total();
+        run.paper_cost += r.paper_cost();
+        run.queries_posed += r.queries_posed;
+        r
+    };
+    // Measurement order: the parallel pipeline goes last because its pool
+    // workers wind down asynchronously — on a saturated host their tail
+    // steals cycles from whatever is timed next, and the loop wrap-around
+    // puts that between transactions rather than inside a mode's window.
     for (table, delta) in &workload {
-        let a0 = alloc_stats::count();
-        let t0 = Instant::now();
-        let r_pk = db_pk.apply_delta(table, delta.clone()).expect("per-key");
-        let dt = t0.elapsed();
-        pk.wall += dt;
-        pk.latencies_ns.push(dt.as_nanos() as u64);
-        pk.allocs += alloc_stats::count() - a0;
-        let a0 = alloc_stats::count();
-        let t0 = Instant::now();
-        let r_b = db_b.apply_delta(table, delta.clone()).expect("batched");
-        let dt = t0.elapsed();
-        ba.wall += dt;
-        ba.latencies_ns.push(dt.as_nanos() as u64);
-        ba.allocs += alloc_stats::count() - a0;
-        let a0 = alloc_stats::count();
-        let t0 = Instant::now();
-        let r_par = db_par.apply_delta(table, delta.clone()).expect("parallel");
-        let dt = t0.elapsed();
-        par.wall += dt;
-        par.latencies_ns.push(dt.as_nanos() as u64);
-        par.allocs += alloc_stats::count() - a0;
-        // The invariant: neither batching nor the pipeline may change the
-        // charged I/O or the posed-query count.
+        let r_pk = measure(&mut db_pk, &mut pk, table, delta.clone());
+        let r_b = measure(&mut db_b, &mut ba, table, delta.clone());
+        let r_fu = measure(&mut db_fu, &mut fu, table, delta.clone());
+        let r_par = measure(&mut db_par, &mut par, table, delta.clone());
+        // The invariant: neither batching, the pipeline, nor kernel
+        // fusion may change the charged I/O or the posed-query count.
         assert_eq!(
             r_pk, r_b,
             "per-update I/O counters diverged on {table} delta {delta:?}"
@@ -258,34 +271,48 @@ fn run_scenario(s: Scenario) -> Measured {
             r_b, r_par,
             "parallel pipeline diverged on {table} delta {delta:?}"
         );
-        reports_identical &= r_pk == r_b && r_b == r_par;
-        pk.io_total += r_pk.total();
-        pk.paper_cost += r_pk.paper_cost();
-        pk.queries_posed += r_pk.queries_posed;
-        ba.io_total += r_b.total();
-        ba.paper_cost += r_b.paper_cost();
-        ba.queries_posed += r_b.queries_posed;
-        par.io_total += r_par.total();
-        par.paper_cost += r_par.paper_cost();
-        par.queries_posed += r_par.queries_posed;
+        assert_eq!(
+            r_b, r_fu,
+            "fused kernels diverged on {table} delta {delta:?}"
+        );
+        reports_identical &= r_pk == r_b && r_b == r_par && r_b == r_fu;
+    }
+    for (db, run) in [
+        (&db_pk, &mut pk),
+        (&db_b, &mut ba),
+        (&db_par, &mut par),
+        (&db_fu, &mut fu),
+    ] {
+        run.phases = db.phase_totals();
+        // The phase split must attribute (nearly all of) the measured
+        // wall: everything outside the three phases is loop overhead.
+        let sum = run.phases.sum_ns() as f64;
+        let wall = run.wall.as_nanos() as f64;
+        assert!(
+            sum <= wall * 1.01 && sum >= wall * 0.50,
+            "phase attribution ({sum}ns) inconsistent with measured wall ({wall}ns)"
+        );
     }
 
     // Final state: every materialized table bit-identical across modes.
     let names = materialized_names(&db_pk);
     assert_eq!(names, materialized_names(&db_b));
     assert_eq!(names, materialized_names(&db_par));
+    assert_eq!(names, materialized_names(&db_fu));
     let mut views_identical = true;
     for name in &names {
         let a = &db_pk.catalog.table(name).expect("per-key table").relation;
         let b = &db_b.catalog.table(name).expect("batched table").relation;
         let c = &db_par.catalog.table(name).expect("parallel table").relation;
-        let same = a.data() == b.data() && b.data() == c.data();
+        let d = &db_fu.catalog.table(name).expect("fused table").relation;
+        let same = a.data() == b.data() && b.data() == c.data() && c.data() == d.data();
         assert!(same, "materialized table {name} diverged between modes");
         views_identical &= same;
     }
     let verified = verify_all_views(&db_b).expect("recompute").is_empty()
         && verify_all_views(&db_pk).expect("recompute").is_empty()
-        && verify_all_views(&db_par).expect("recompute").is_empty();
+        && verify_all_views(&db_par).expect("recompute").is_empty()
+        && verify_all_views(&db_fu).expect("recompute").is_empty();
     assert!(verified, "a view diverged from recomputation");
 
     // Pinned-pool sweep (wide scenario): fresh database per width, same
@@ -322,6 +349,7 @@ fn run_scenario(s: Scenario) -> Measured {
         per_key: pk,
         batched: ba,
         parallel: par,
+        fused: fu,
         reports_identical,
         views_identical,
         verified,
@@ -331,16 +359,19 @@ fn run_scenario(s: Scenario) -> Measured {
         thread_scaling,
     };
     eprintln!(
-        "  per_key {:>8.3}s ({:>8.1} txn/s)   batched {:>8.3}s ({:>8.1} txn/s)   parallel {:>8.3}s ({:>8.1} txn/s)   io {} == {} == {}",
+        "  per_key {:>8.3}s ({:>8.1} txn/s)   batched {:>8.3}s ({:>8.1} txn/s)   parallel {:>8.3}s ({:>8.1} txn/s)   fused {:>8.3}s ({:>8.1} txn/s)   io {} == {} == {} == {}",
         measured.per_key.wall.as_secs_f64(),
         measured.per_key.txns_per_sec(measured.scenario.transactions),
         measured.batched.wall.as_secs_f64(),
         measured.batched.txns_per_sec(measured.scenario.transactions),
         measured.parallel.wall.as_secs_f64(),
         measured.parallel.txns_per_sec(measured.scenario.transactions),
+        measured.fused.wall.as_secs_f64(),
+        measured.fused.txns_per_sec(measured.scenario.transactions),
         measured.per_key.io_total,
         measured.batched.io_total,
         measured.parallel.io_total,
+        measured.fused.io_total,
     );
     measured
 }
@@ -435,6 +466,7 @@ fn main() {
             ("per_key", &m.per_key),
             ("batched", &m.batched),
             ("parallel", &m.parallel),
+            ("fused", &m.fused),
         ] {
             let (p50, p95, p99, max) = run.latency_quantiles_ns();
             let _ = writeln!(json, "      \"{label}\": {{");
@@ -449,9 +481,23 @@ fn main() {
             );
             let _ = writeln!(
                 json,
-                "        \"allocs_per_txn\": {:.1}",
-                run.allocs as f64 / n as f64
+                "        \"phases_ns\": {{ \"plan\": {}, \"gate\": {}, \"commit\": {}, \"wall_fraction\": {:.3} }}{}",
+                run.phases.plan_ns,
+                run.phases.gate_ns,
+                run.phases.commit_ns,
+                run.phases.sum_ns() as f64 / run.wall.as_nanos() as f64,
+                if alloc_stats::compiled() { "," } else { "" }
             );
+            // Allocation counts are meaningless without the counting
+            // allocator; the key is omitted entirely so consumers can't
+            // mistake 0.0 for a measurement.
+            if alloc_stats::compiled() {
+                let _ = writeln!(
+                    json,
+                    "        \"allocs_per_txn\": {:.1}",
+                    run.allocs as f64 / n as f64
+                );
+            }
             json.push_str("      },\n");
         }
         let _ = writeln!(
@@ -463,6 +509,11 @@ fn main() {
             json,
             "      \"par_speedup\": {:.3},",
             m.batched.wall.as_secs_f64() / m.parallel.wall.as_secs_f64()
+        );
+        let _ = writeln!(
+            json,
+            "      \"fused_speedup\": {:.3},",
+            m.batched.wall.as_secs_f64() / m.fused.wall.as_secs_f64()
         );
         if !m.thread_scaling.is_empty() {
             json.push_str("      \"thread_scaling\": [\n");
@@ -503,6 +554,7 @@ fn main() {
             m.per_key.queries_posed
                 + m.batched.queries_posed
                 + m.parallel.queries_posed
+                + m.fused.queries_posed
                 + m.thread_scaling
                     .iter()
                     .map(|p| p.queries_posed)

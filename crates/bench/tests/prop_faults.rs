@@ -253,6 +253,90 @@ fn fault_sweep_preserves_atomicity_at_every_site() {
     }
 }
 
+/// The sequential journaled commit (the dirty-shard fast path) under
+/// fault injection, with planning done by the **fused** kernels: every
+/// commit-path site x hit threshold, swept across Sequential (in-place
+/// journaled commit) and the Parallel staged fallback at pool widths
+/// 1/2/4/8. The main sweep covers the same cells under batched planning;
+/// this one proves the fused plans feed both commit protocols the exact
+/// deltas the rollback machinery expects — post-failure bit-identity,
+/// clean integrity, and retry-equals-control every time.
+#[test]
+fn journaled_commit_fault_sweep_under_fused_planning() {
+    quiet_injected_panics();
+    let _serial = fault::serial_guard();
+    let mut template = template();
+    template.set_propagation_mode(PropagationMode::Fused);
+    let txns = passing_txns(&template, 4);
+    let (ctrl_reports, ctrl_contents) = control(&template, &txns);
+    // The three sites the commit paths cross: per-view apply, the base
+    // apply, and the commit gate (`storage::restore_table` fires once per
+    // journaled table on the sequential path, once per staged table on
+    // the parallel one).
+    for site in ["ivm::commit_view", "delta::apply_to", "storage::restore_table"] {
+        for on_hit in [1, 2, 3] {
+            for &shape in SHAPES {
+                sweep_cell(
+                    &template,
+                    &txns,
+                    &ctrl_reports,
+                    &ctrl_contents,
+                    site,
+                    FaultAction::Error,
+                    on_hit,
+                    shape,
+                );
+            }
+        }
+    }
+}
+
+/// A panic unwinding through the sequential journaled commit: the undo
+/// journal must replay before the panic resumes, so the caller that
+/// catches the unwind observes a catalog bit-identical to the
+/// pre-transaction state — and a clean retry afterwards.
+#[test]
+fn sequential_commit_panic_rolls_back_before_resuming() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    quiet_injected_panics();
+    let _serial = fault::serial_guard();
+    let template = template();
+    let txns = passing_txns(&template, 1);
+    let (ctrl_reports, ctrl_contents) = control(&template, &txns);
+    for site in ["ivm::commit_view", "delta::apply_to"] {
+        for on_hit in [1, 2] {
+            let mut db = shaped(&template, Shape::Sequential);
+            let pre = contents(&db);
+            let guard = fault::install(FaultPlan::new().panic_at(site, on_hit));
+            let (table, delta) = &txns[0];
+            let outcome = catch_unwind(AssertUnwindSafe(|| db.apply_delta(table, delta.clone())));
+            let label = format!("{site}/hit{on_hit}");
+            match outcome {
+                Err(_) => {
+                    assert!(guard.fired(site), "{label}: panicked without firing");
+                    assert_eq!(contents(&db), pre, "{label}: catalog torn by the panic");
+                    db.integrity_check()
+                        .unwrap_or_else(|e| panic!("{label}: integrity: {e}"));
+                }
+                Ok(r) => {
+                    // Hit count past the site's per-txn crossings: the
+                    // run must be indistinguishable from control.
+                    assert!(!guard.fired(site), "{label}: fired yet returned");
+                    assert_eq!(r.unwrap(), ctrl_reports[0], "{label}");
+                }
+            }
+            guard.clear();
+            if contents(&db) == pre {
+                let r = db.apply_delta(table, delta.clone()).unwrap();
+                assert_eq!(r, ctrl_reports[0], "{label}: retry report diverged");
+            }
+            drop(guard);
+            assert_eq!(contents(&db), ctrl_contents, "{label}: final contents");
+            assert!(verify_all_views(&db).unwrap().is_empty(), "{label}");
+        }
+    }
+}
+
 /// Seeded single-fault plans (the splitmix64 path `FaultPlan::seeded`
 /// exposes to property tests) under a mid-width pool: whatever the seed
 /// picks, atomicity holds.

@@ -5,8 +5,14 @@
 //! tuple, index page reads (and writes when a key changes), a data page
 //! read of the old value and a data page write of the new value — charged
 //! by [`Relation`]'s mutation methods.
+//!
+//! [`apply_to_relation_undo`] is the journaled variant used by the
+//! in-place sequential commit fast path: every successful relation op is
+//! recorded in an [`UndoLog`] so a failure later in the same transaction
+//! can be rolled back by replaying exact inverse ops in reverse order —
+//! no copy-on-write staging, no whole-table copies.
 
-use spacetime_storage::{Bag, IoMeter, Relation, StorageResult};
+use spacetime_storage::{Bag, Catalog, IoMeter, Relation, StorageResult};
 
 use crate::delta::Delta;
 
@@ -34,6 +40,153 @@ pub fn apply_to_relation(delta: &Delta, rel: &mut Relation, io: &mut IoMeter) ->
 /// Apply a delta to an in-memory bag (verification oracle).
 pub fn apply_to_bag(delta: &Delta, bag: &mut Bag) -> StorageResult<()> {
     delta.apply_to(bag)
+}
+
+/// One recorded relation mutation, stored as the information needed to
+/// invert it.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    /// `n` copies of `t` were inserted.
+    Insert(spacetime_storage::Tuple, u64),
+    /// `n` copies of `t` were deleted.
+    Delete(spacetime_storage::Tuple, u64),
+    /// `count` copies of `old` became `new`.
+    Modify {
+        old: spacetime_storage::Tuple,
+        new: spacetime_storage::Tuple,
+        count: u64,
+    },
+}
+
+/// Per-relation run of recorded ops (in application order).
+#[derive(Debug, Default, Clone)]
+struct UndoEntry {
+    table: String,
+    ops: Vec<UndoOp>,
+}
+
+/// An inverse-op journal for the in-place commit fast path.
+///
+/// [`apply_to_relation_undo`] records each successful relation op here;
+/// [`UndoLog::rollback`] replays the exact inverses in reverse order,
+/// restoring the catalog to its pre-transaction contents without any
+/// staged table copies. The log's buffers are pooled: [`UndoLog::reset`]
+/// keeps entry and op capacity, so a steady stream of transactions
+/// journals without allocating.
+///
+/// Rollback bypasses the update-cost accounting on purpose (a failed
+/// transaction reports its error, not I/O for work that was undone), and
+/// replays raw [`Relation`] ops, which have no failpoints — an injected
+/// fault can interrupt a commit but never the rollback that repairs it.
+#[derive(Debug, Default, Clone)]
+pub struct UndoLog {
+    entries: Vec<UndoEntry>,
+    live: usize,
+}
+
+impl UndoLog {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        UndoLog::default()
+    }
+
+    /// Forget all recorded ops, keeping buffer capacity for reuse.
+    pub fn reset(&mut self) {
+        for e in &mut self.entries[..self.live] {
+            e.table.clear();
+            e.ops.clear();
+        }
+        self.live = 0;
+    }
+
+    /// Whether anything has been recorded since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of journaled apply runs (one per relation touched, in
+    /// application order; runs are never merged, so this equals the number
+    /// of deltas applied).
+    pub fn table_count(&self) -> usize {
+        self.live
+    }
+
+    /// The journaled tables, in application order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.entries[..self.live].iter().map(|e| e.table.as_str())
+    }
+
+    /// Open a new per-relation run (reusing a pooled entry if available).
+    fn begin(&mut self, table: &str) {
+        if self.live == self.entries.len() {
+            self.entries.push(UndoEntry::default());
+        }
+        let e = &mut self.entries[self.live];
+        debug_assert!(e.table.is_empty() && e.ops.is_empty(), "reset() clears");
+        e.table.push_str(table);
+        self.live += 1;
+    }
+
+    fn push(&mut self, op: UndoOp) {
+        self.entries[self.live - 1].ops.push(op);
+    }
+
+    /// Replay exact inverse ops in reverse order, restoring every
+    /// journaled relation to its pre-transaction contents, then reset.
+    ///
+    /// Errors only on a journal/catalog mismatch, which would indicate a
+    /// bug in the recording side — callers treat it as fatal.
+    pub fn rollback(&mut self, catalog: &mut Catalog) -> StorageResult<()> {
+        // Uncharged: rollback is repair, not accounted maintenance work.
+        let mut io = IoMeter::new();
+        for e in self.entries[..self.live].iter().rev() {
+            let rel = &mut catalog.table_mut(&e.table)?.relation;
+            for op in e.ops.iter().rev() {
+                match op {
+                    UndoOp::Insert(t, n) => rel.delete(t, *n, &mut io)?,
+                    UndoOp::Delete(t, n) => rel.insert(t.clone(), *n, &mut io)?,
+                    UndoOp::Modify { old, new, count } => {
+                        rel.modify(new, old.clone(), *count, &mut io)?
+                    }
+                }
+            }
+        }
+        self.reset();
+        Ok(())
+    }
+}
+
+/// [`apply_to_relation`] with journaling: records each successful op into
+/// `undo` so the whole application (and everything before it in the same
+/// transaction) can be inverted by [`UndoLog::rollback`]. An op that fails
+/// mid-delta leaves the journal exactly covering the ops that did land.
+pub fn apply_to_relation_undo(
+    delta: &Delta,
+    rel: &mut Relation,
+    io: &mut IoMeter,
+    undo: &mut UndoLog,
+) -> StorageResult<()> {
+    // Same failpoint as the staged path: firing here interrupts a
+    // transaction with zero or more earlier deltas already applied.
+    spacetime_storage::fault::fire("delta::apply_to")?;
+    undo.begin(rel.name());
+    for (t, c) in delta.deletes.iter() {
+        rel.delete(t, c, io)?;
+        undo.push(UndoOp::Delete(t.clone(), c));
+    }
+    for m in &delta.modifies {
+        rel.modify(&m.old, m.new.clone(), m.count, io)?;
+        undo.push(UndoOp::Modify {
+            old: m.old.clone(),
+            new: m.new.clone(),
+            count: m.count,
+        });
+    }
+    for (t, c) in delta.inserts.iter() {
+        rel.insert(t.clone(), c, io)?;
+        undo.push(UndoOp::Insert(t.clone(), c));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -90,6 +243,104 @@ mod tests {
         let d = Delta::delete(tuple!["ghost", 1], 1);
         let mut io = IoMeter::new();
         assert!(apply_to_relation(&d, &mut r, &mut io).is_err());
+    }
+
+    #[test]
+    fn undo_rollback_restores_exact_contents() {
+        use spacetime_storage::Catalog;
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "SumOfSals",
+            Schema::of_table(
+                "SumOfSals",
+                &[("DName", DataType::Str), ("SalSum", DataType::Int)],
+            ),
+        )
+        .unwrap();
+        {
+            let rel = &mut cat.table_mut("SumOfSals").unwrap().relation;
+            rel.create_index(vec![0]).unwrap();
+            let mut io = IoMeter::new();
+            for d in 0..3 {
+                rel.insert(tuple![format!("dept{d}"), 100 * d], 1, &mut io)
+                    .unwrap();
+            }
+        }
+        let pre = cat.table("SumOfSals").unwrap().relation.data().clone();
+
+        let mut d = Delta::delete(tuple!["dept0", 0], 1);
+        d.inserts.insert(tuple!["dept9", 900], 2);
+        d.push_modify(tuple!["dept2", 200], tuple!["dept2", 250], 1);
+        let mut undo = UndoLog::new();
+        let mut io = IoMeter::new();
+        {
+            let rel = &mut cat.table_mut("SumOfSals").unwrap().relation;
+            apply_to_relation_undo(&d, rel, &mut io, &mut undo).unwrap();
+        }
+        assert_eq!(undo.table_count(), 1);
+        assert_eq!(undo.tables().collect::<Vec<_>>(), vec!["SumOfSals"]);
+        assert_ne!(&pre, cat.table("SumOfSals").unwrap().relation.data());
+
+        undo.rollback(&mut cat).unwrap();
+        let rel = &cat.table("SumOfSals").unwrap().relation;
+        assert_eq!(&pre, rel.data());
+        // Index restored too: probes agree with the data bag.
+        let mut io = IoMeter::new();
+        assert_eq!(rel.lookup(0, &[spacetime_storage::Value::str("dept2")], &mut io).len(), 1);
+        assert!(undo.is_empty(), "rollback resets the log");
+    }
+
+    #[test]
+    fn undo_covers_partial_application() {
+        // A delta that fails mid-apply leaves the journal covering exactly
+        // the ops that landed, so rollback restores the pre-state.
+        let mut cat = spacetime_storage::Catalog::new();
+        cat.create_table(
+            "SumOfSals",
+            Schema::of_table(
+                "SumOfSals",
+                &[("DName", DataType::Str), ("SalSum", DataType::Int)],
+            ),
+        )
+        .unwrap();
+        {
+            let rel = &mut cat.table_mut("SumOfSals").unwrap().relation;
+            let mut io = IoMeter::new();
+            for d in 0..3 {
+                rel.insert(tuple![format!("dept{d}"), 100 * d], 1, &mut io)
+                    .unwrap();
+            }
+        }
+        let pre = cat.table("SumOfSals").unwrap().relation.data().clone();
+        // Deletes apply first; the modify of a ghost tuple then fails.
+        let mut d = Delta::delete(tuple!["dept0", 0], 1);
+        d.push_modify(tuple!["ghost", 1], tuple!["ghost", 2], 1);
+        let mut undo = UndoLog::new();
+        let mut io = IoMeter::new();
+        {
+            let rel = &mut cat.table_mut("SumOfSals").unwrap().relation;
+            assert!(apply_to_relation_undo(&d, rel, &mut io, &mut undo).is_err());
+        }
+        undo.rollback(&mut cat).unwrap();
+        assert_eq!(&pre, cat.table("SumOfSals").unwrap().relation.data());
+    }
+
+    #[test]
+    fn undo_reset_pools_buffers() {
+        let mut r = sum_of_sals_relation();
+        let mut undo = UndoLog::new();
+        let mut io = IoMeter::new();
+        for i in 0..4 {
+            let d = Delta::modify(
+                tuple!["dept1", 100 + i],
+                tuple!["dept1", 100 + i + 1],
+                1,
+            );
+            apply_to_relation_undo(&d, &mut r, &mut io, &mut undo).unwrap();
+            assert_eq!(undo.table_count(), 1);
+            undo.reset();
+            assert!(undo.is_empty());
+        }
     }
 
     #[test]

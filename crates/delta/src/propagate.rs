@@ -31,6 +31,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use spacetime_algebra::eval::aggregate_bag;
+use spacetime_algebra::kernel::{FusedProgram, KernelScratch, PairOutcome};
 use spacetime_algebra::{AggExpr, AggFunc, ExprNode, JoinCondition, OpKind, ScalarExpr};
 use spacetime_storage::{Bag, HashIndex, StorageError, StorageResult, Tuple, Value};
 
@@ -194,6 +195,70 @@ pub fn propagate(
         OpKind::Aggregate { group_by, aggs } => propagate_aggregate(group_by, aggs, delta, access),
         OpKind::Distinct => propagate_distinct(node.schema.arity(), delta, access),
     }
+}
+
+// ---------------------------------------------------------------------
+// Fused chains
+// ---------------------------------------------------------------------
+
+/// Propagate a delta through a whole compiled `Select`/`Project` chain in
+/// one streaming pass — the fused equivalent of folding [`propagate`] over
+/// each chain op, bit-identical by construction (each delta element's path
+/// through the chain is independent; the kernel replicates the per-stage
+/// modify splitting, and bag accumulation is order-free).
+///
+/// Chains pose no queries and charge no I/O in any mode, so fusion is a
+/// pure wall-clock optimization: no intermediate `Delta` per operator, no
+/// `Bag` churn for filtered tuples, and projection scratch comes from the
+/// thread's transaction arena (reset, not freed, between updates).
+pub fn propagate_chain(prog: &FusedProgram, delta: &Delta) -> StorageResult<Delta> {
+    if delta.is_empty() {
+        return Ok(Delta::new());
+    }
+    spacetime_storage::arena::with_arena(|arena| {
+        let mut scratch = KernelScratch::from_bufs([
+            arena.take_buf(),
+            arena.take_buf(),
+            arena.take_buf(),
+            arena.take_buf(),
+        ]);
+        let result = run_chain(prog, delta, &mut scratch);
+        for buf in scratch.into_bufs() {
+            arena.put_buf(buf);
+        }
+        result
+    })
+}
+
+fn run_chain(
+    prog: &FusedProgram,
+    delta: &Delta,
+    scratch: &mut KernelScratch,
+) -> StorageResult<Delta> {
+    let mut out = Delta::new();
+    for (t, c) in delta.inserts.iter() {
+        if let Some(t2) = prog.apply_one(t, scratch)? {
+            out.inserts.insert(t2, c);
+        }
+    }
+    for (t, c) in delta.deletes.iter() {
+        if let Some(t2) = prog.apply_one(t, scratch)? {
+            out.deletes.insert(t2, c);
+        }
+    }
+    for m in &delta.modifies {
+        match prog.apply_pair(&m.old, &m.new, scratch)? {
+            None => {}
+            Some(PairOutcome::Modify(o, n)) => out.push_modify(o, n, m.count),
+            Some(PairOutcome::DeleteOld(o)) => {
+                out.deletes.insert(o, m.count);
+            }
+            Some(PairOutcome::InsertNew(n)) => {
+                out.inserts.insert(n, m.count);
+            }
+        }
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------
@@ -1062,6 +1127,54 @@ mod tests {
             out.is_empty(),
             "salary change invisible after projecting DName"
         );
+    }
+
+    #[test]
+    fn fused_chain_matches_stepwise_propagation() {
+        // Emp → σ(Salary>90) → π(DName, Salary+1) → σ(col1>95)
+        let ops = [
+            OpKind::Select {
+                predicate: ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(2), ScalarExpr::lit(90)),
+            },
+            OpKind::Project {
+                exprs: vec![
+                    (ScalarExpr::col(1), "DName".into()),
+                    (
+                        ScalarExpr::bin(
+                            spacetime_algebra::BinOp::Add,
+                            ScalarExpr::col(2),
+                            ScalarExpr::lit(1),
+                        ),
+                        "SalPlus".into(),
+                    ),
+                ],
+            },
+            OpKind::Select {
+                predicate: ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(1), ScalarExpr::lit(95)),
+            },
+        ];
+        let prog = FusedProgram::compile(&ops).unwrap();
+        let mut d = Delta::new();
+        d.inserts.insert(tuple!["zoe", "HR", 120], 2);
+        d.inserts.insert(tuple!["ann", "HR", 40], 1);
+        d.deletes.insert(tuple!["bob", "Sales", 100], 1);
+        d.push_modify(tuple!["cat", "Eng", 80], tuple!["cat", "Eng", 130], 1); // enters
+        d.push_modify(tuple!["dan", "Eng", 130], tuple!["dan", "Eng", 80], 1); // leaves
+        d.push_modify(tuple!["eve", "Eng", 120], tuple!["eve", "Eng", 140], 1); // stays
+        d.push_modify(tuple!["fay", "Ops", 91], tuple!["fay", "Ops", 92], 3); // dropped late
+        // Stepwise: fold the per-operator rules over the chain.
+        let mut stepwise = d.clone();
+        for op in &ops {
+            stepwise = match op {
+                OpKind::Select { predicate } => propagate_select(predicate, &stepwise).unwrap(),
+                OpKind::Project { exprs } => propagate_project(exprs, &stepwise).unwrap(),
+                _ => unreachable!(),
+            };
+        }
+        let fused = propagate_chain(&prog, &d).unwrap();
+        assert_eq!(fused.inserts, stepwise.inserts);
+        assert_eq!(fused.deletes, stepwise.deletes);
+        assert_eq!(fused.modifies, stepwise.modifies);
     }
 
     #[test]

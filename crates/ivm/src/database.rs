@@ -79,6 +79,37 @@ pub struct Database {
     last_trace: Option<TraceNode>,
     /// Accumulated maintenance reports (for benchmarking).
     pub last_report: Option<UpdateReport>,
+    /// Transaction-scoped undo journal for the sequential in-place commit
+    /// path. Held on the session so its buffers are pooled across
+    /// transactions (reset, never freed).
+    undo: spacetime_delta::UndoLog,
+    /// Accumulate per-phase wall clock across updates (see
+    /// [`Database::set_phase_stats`]).
+    collect_phases: bool,
+    phase_totals: PhaseTotals,
+}
+
+/// Cumulative wall-clock attribution of [`Database::apply_delta`] across
+/// its three phases, summed over every update since phase collection was
+/// (re)enabled. Phase timing is an observation only — it never changes
+/// deltas, reports, or view contents.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Phase 1: delta propagation along the update tracks (planning).
+    pub plan_ns: u64,
+    /// Assertion gate: integrity checks against pre-update state.
+    pub gate_ns: u64,
+    /// Phase 2: applying the planned deltas (commit).
+    pub commit_ns: u64,
+    /// Updates the totals cover.
+    pub updates: u64,
+}
+
+impl PhaseTotals {
+    /// Total attributed nanoseconds across all three phases.
+    pub fn sum_ns(&self) -> u64 {
+        self.plan_ns + self.gate_ns + self.commit_ns
+    }
 }
 
 impl Default for Database {
@@ -102,7 +133,26 @@ impl Database {
             tracing: false,
             last_trace: None,
             last_report: None,
+            undo: spacetime_delta::UndoLog::new(),
+            collect_phases: false,
+            phase_totals: PhaseTotals::default(),
         }
+    }
+
+    /// Turn per-phase wall-clock accumulation on or off (resetting the
+    /// totals either way). While on, every successful
+    /// [`Database::apply_delta`] adds its plan/gate/commit durations to
+    /// the totals returned by [`Database::phase_totals`] — a few clock
+    /// reads per update, independent of tracing.
+    pub fn set_phase_stats(&mut self, on: bool) {
+        self.collect_phases = on;
+        self.phase_totals = PhaseTotals::default();
+    }
+
+    /// The accumulated phase attribution (zeros unless
+    /// [`Database::set_phase_stats`] is on).
+    pub fn phase_totals(&self) -> PhaseTotals {
+        self.phase_totals
     }
 
     /// Turn propagation tracing on or off. While on, every
@@ -474,7 +524,8 @@ impl Database {
         }
         obs::counter_add(metric::UPDATES_APPLIED, 1);
         let update_watch = obs::stopwatch();
-        let t_plan = self.tracing.then(std::time::Instant::now);
+        let timed = self.tracing || self.collect_phases;
+        let t_plan = timed.then(std::time::Instant::now);
         // Phase 1: plan against pre-update state.
         let mut planned = match self.exec {
             ExecutionMode::Sequential => {
@@ -491,7 +542,7 @@ impl Database {
             ExecutionMode::Parallel => self.plan_parallel(table, &delta)?,
         };
         let plan_dur = t_plan.map(|t| t.elapsed());
-        let t_gate = self.tracing.then(std::time::Instant::now);
+        let t_gate = timed.then(std::time::Instant::now);
         // Assertion gate (always against pre-update state, whichever mode
         // planned — a violating transaction is rejected before any write).
         for a in &self.assertions {
@@ -506,18 +557,20 @@ impl Database {
                 }
             }
         }
-        // Phase 2: commit everywhere. Both paths follow the staged-commit
-        // protocol (DESIGN.md §12): every write lands in a staged
-        // copy-on-write `Arc<Table>` first, and the catalog changes only
-        // at the single `restore_tables` swap at the end — so ANY failure
-        // up to that point (storage error, injected fault, contained
-        // panic) leaves the catalog bit-identical to its pre-transaction
-        // state. Reports merge each engine's planning report with its
-        // apply report in engine order (deterministic regardless of which
-        // threads did the work).
+        // Phase 2: commit everywhere. Both paths are all-or-nothing, by
+        // different mechanisms (DESIGN.md §12, §15): the sequential path
+        // applies writes in place on the live catalog with an inverse-op
+        // undo journal (zero shard copies in the steady state — the
+        // dirty-shard fast path), and the parallel path stages writes in
+        // copy-on-write `Arc<Table>` copies published by a single
+        // `restore_tables` swap. Either way ANY failure (storage error,
+        // injected fault, contained panic) leaves the catalog
+        // bit-identical to its pre-transaction state. Reports merge each
+        // engine's planning report with its apply report in engine order
+        // (deterministic regardless of which threads did the work).
         let gate_dur = t_gate.map(|t| t.elapsed());
         let commit_watch = obs::stopwatch();
-        let t_commit = self.tracing.then(std::time::Instant::now);
+        let t_commit = timed.then(std::time::Instant::now);
         let mut combined = UpdateReport::default();
         match self.exec {
             ExecutionMode::Sequential => {
@@ -534,8 +587,14 @@ impl Database {
         }
         commit_watch.observe(metric::COMMIT_LATENCY_NS);
         update_watch.observe(metric::UPDATE_LATENCY_NS);
+        let commit_dur = t_commit.map(|t| t.elapsed());
+        if self.collect_phases {
+            self.phase_totals.plan_ns += plan_dur.map_or(0, |d| d.as_nanos() as u64);
+            self.phase_totals.gate_ns += gate_dur.map_or(0, |d| d.as_nanos() as u64);
+            self.phase_totals.commit_ns += commit_dur.map_or(0, |d| d.as_nanos() as u64);
+            self.phase_totals.updates += 1;
+        }
         if self.tracing {
-            let commit_dur = t_commit.map(|t| t.elapsed());
             self.last_trace = Some(self.update_trace(
                 table,
                 &delta,
@@ -609,10 +668,22 @@ impl Database {
         root
     }
 
-    /// Sequential staged commit: stage every engine's view deltas and the
-    /// base delta into copy-on-write table copies, then swap them all in
-    /// atomically. An error anywhere before the swap returns with the
-    /// catalog untouched.
+    /// Sequential journaled commit — the dirty-shard fast path. View
+    /// deltas and the base delta are applied *in place* on the live
+    /// catalog, recording an inverse operation in the session's
+    /// [`spacetime_delta::UndoLog`] for each landed write. In the steady
+    /// state the cataloged `Arc<Table>`s are unshared, so `Arc::make_mut`
+    /// is free and only the storage shards a transaction actually
+    /// disturbs are touched — where the staged path deep-copied every
+    /// shard of every touched table and then discarded the originals.
+    ///
+    /// All-or-nothing is preserved by the journal instead of by staging:
+    /// on any failure — a storage error, an injected fault (including the
+    /// `storage::restore_table` commit gate, fired once per journaled
+    /// table for parity with the staged swap), or a panic unwinding apply
+    /// code — the journal replays in reverse with an uncharged meter,
+    /// leaving the catalog bit-identical to its pre-transaction state
+    /// before the error propagates (or the panic resumes).
     fn commit_sequential(
         &mut self,
         table: &str,
@@ -620,17 +691,55 @@ impl Database {
         planned: &[PlannedUpdate],
         combined: &mut UpdateReport,
     ) -> IvmResult<()> {
-        let mut staged: BTreeMap<String, Arc<Table>> = BTreeMap::new();
-        for (e, plan) in self.engines.iter().zip(planned) {
-            combined.merge(&plan.report);
-            let r = e.commit_staged(&self.catalog, &mut staged, plan)?;
-            combined.merge(&r);
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+        self.undo.reset();
+        let engines = &self.engines;
+        let catalog = &mut self.catalog;
+        let undo = &mut self.undo;
+        let outcome = catch_unwind(AssertUnwindSafe(
+            || -> IvmResult<(UpdateReport, IoMeter)> {
+                let mut rep = UpdateReport::default();
+                for (e, plan) in engines.iter().zip(planned) {
+                    rep.merge(&plan.report);
+                    let r = e.commit_in_place(catalog, plan, undo)?;
+                    rep.merge(&r);
+                }
+                let mut base_io = IoMeter::new();
+                let rel = &mut catalog.table_mut(table)?.relation;
+                spacetime_delta::apply_to_relation_undo(delta, rel, &mut base_io, undo)?;
+                // The commit gate: same failpoint, fired the same number
+                // of times, as the staged path's batch swap.
+                for _ in 0..undo.table_count() {
+                    spacetime_storage::fault::fire("storage::restore_table")?;
+                }
+                Ok((rep, base_io))
+            },
+        ));
+        match outcome {
+            Ok(Ok((rep, base_io))) => {
+                combined.merge(&rep);
+                combined.base_io = base_io;
+                let mut dirty = 0u64;
+                for name in undo.tables() {
+                    let rel = &mut catalog.table_mut(name)?.relation;
+                    dirty += u64::from(rel.dirty_shards());
+                    rel.clear_dirty();
+                }
+                obs::counter_add(metric::COMMIT_DIRTY_SHARDS, dirty);
+                undo.reset();
+                Ok(())
+            }
+            Ok(Err(e)) => {
+                undo.rollback(catalog)
+                    .expect("undo replay of landed ops cannot fail");
+                Err(e)
+            }
+            Err(panic) => {
+                undo.rollback(catalog)
+                    .expect("undo replay of landed ops cannot fail");
+                resume_unwind(panic)
+            }
         }
-        let base_io = stage_base_delta(&self.catalog, &mut staged, table, delta)?;
-        // The commit point: one atomic batch swap (or no change at all).
-        self.catalog.restore_tables(staged)?;
-        combined.base_io = base_io;
-        Ok(())
     }
 
     /// Plan every engine concurrently against an immutable catalog

@@ -12,10 +12,11 @@
 //! the paper's accounting, which excludes base-relation and top-level-view
 //! updates.
 
-use std::collections::BTreeMap;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use spacetime_algebra::{ExprNode, OpKind};
+use spacetime_algebra::{ExprNode, FusedProgram, OpKind};
 use spacetime_cost::{CostCtx, PageIoCostModel, TransactionType};
 use spacetime_delta::{apply_to_relation, Delta, InputAccess};
 use spacetime_memo::{GroupId, Memo, OpId};
@@ -45,6 +46,17 @@ pub enum PropagationMode {
     /// [`PropagationMode::PerKey`] — batching changes wall-clock only.
     #[default]
     Batched,
+    /// [`PropagationMode::Batched`] planning plus fused chain kernels:
+    /// each access-free `Select`/`Project` chain executes as a compiled
+    /// [`spacetime_algebra::FusedProgram`] streaming the base delta
+    /// through every stage in one pass, with interior chain groups
+    /// skipped entirely (their deltas exist only to feed the next chain
+    /// op, which the kernel fuses away). Chains pose no queries and
+    /// charge no I/O in any mode, so deltas, reports, and view contents
+    /// stay bit-identical to [`PropagationMode::Batched`]. With tracing
+    /// on, the engine falls back to per-step propagation so traces keep
+    /// their one-span-per-group structure.
+    Fused,
 }
 
 /// Per-engine state the propagation hot path reuses across updates, so a
@@ -66,6 +78,14 @@ struct PropagationCtx {
     /// from the base scan through `Select`/`Project` steps only. Keys of
     /// the per-transaction cross-engine shared-delta cache.
     chains: BTreeMap<String, BTreeMap<GroupId, ChainFingerprint>>,
+    /// The same chains compiled into fused streaming kernels, executed by
+    /// [`PropagationMode::Fused`] straight off the base delta.
+    programs: BTreeMap<String, BTreeMap<GroupId, Arc<FusedProgram>>>,
+    /// Chain groups whose deltas are still *needed* under fusion: those
+    /// that are materialized, or feed a non-chain op. Interior chain
+    /// groups (everything else) are skipped by the fused path — their
+    /// deltas existed only to carry data to the next chain stage.
+    needed: BTreeMap<String, BTreeSet<GroupId>>,
     /// Cached runtime plan decisions (used by the batched mode).
     plans: PlanCache,
     /// Lazily-built per-op expression nodes handed to `delta::propagate`
@@ -163,8 +183,6 @@ impl UpdateReport {
 pub struct PlannedUpdate {
     /// The updated base table.
     pub table: String,
-    /// The incoming base delta.
-    pub base_delta: Delta,
     /// Deltas per materialized group (in application order).
     pub view_deltas: Vec<(GroupId, Delta)>,
     /// Report with `query_io` filled in.
@@ -361,9 +379,39 @@ impl IvmEngine {
             let order = topo_order(&memo, track);
             if let Some(leaf) = roots.iter().find_map(|&r| leaf_group(&memo, r, table)) {
                 let (levels, chains) = level_plan(&memo, track, &order, leaf, table);
+                // Compile each access-free chain into a fused kernel
+                // (skipping the leading `Scan`), and record which chain
+                // groups still need their delta under fusion: those that
+                // are materialized or feed a non-chain track op.
+                let programs: BTreeMap<GroupId, Arc<FusedProgram>> = chains
+                    .iter()
+                    .filter_map(|(g, fp)| {
+                        FusedProgram::compile(fp.iter().skip(1)).map(|p| (*g, Arc::new(p)))
+                    })
+                    .collect();
+                let mut needed: BTreeSet<GroupId> = programs
+                    .keys()
+                    .filter(|g| materialized.contains_key(g))
+                    .copied()
+                    .collect();
+                for &h in &order {
+                    let Some(&op) = track.choices.get(&h) else {
+                        continue;
+                    };
+                    if programs.contains_key(&h) {
+                        continue;
+                    }
+                    for c in memo.op_children(op) {
+                        if programs.contains_key(&c) {
+                            needed.insert(c);
+                        }
+                    }
+                }
                 prop_ctx.leaves.insert(table.clone(), leaf);
                 prop_ctx.levels.insert(table.clone(), levels);
                 prop_ctx.chains.insert(table.clone(), chains);
+                prop_ctx.programs.insert(table.clone(), programs);
+                prop_ctx.needed.insert(table.clone(), needed);
             }
             prop_ctx.topo.insert(table.clone(), order);
         }
@@ -427,18 +475,28 @@ impl IvmEngine {
         let Some(track) = self.tracks.get(table) else {
             return Ok(PlannedUpdate {
                 table: table.to_string(),
-                base_delta: base_delta.clone(),
                 view_deltas: Vec::new(),
                 report,
                 trace: None,
             });
         };
         obs::counter_add(metric::TRACK_PROPAGATIONS, 1);
-        let batched = self.mode == PropagationMode::Batched;
+        let batched = matches!(
+            self.mode,
+            PropagationMode::Batched | PropagationMode::Fused
+        );
         let mut exec = QueryExec::new(&self.memo, catalog, &self.materialized);
         if batched {
             exec = exec.with_plans(&self.prop_ctx.plans);
         }
+        // Fused chain kernels: active only without tracing (traces keep
+        // their one-span-per-group structure on the per-step path).
+        // Chains pose no queries and charge no I/O in any mode, so the
+        // plan, report, and view deltas stay bit-identical.
+        let fused = (self.mode == PropagationMode::Fused && !opts.trace)
+            .then(|| self.prop_ctx.programs.get(table))
+            .flatten();
+        let fused_needed = fused.and_then(|_| self.prop_ctx.needed.get(table));
 
         // Topological order of the track's groups (children first) and the
         // table's leaf group, both computed once at build time.
@@ -455,8 +513,10 @@ impl IvmEngine {
             .is_some()
             .then(|| self.prop_ctx.chains.get(table))
             .flatten();
-        let mut deltas: BTreeMap<GroupId, Delta> = BTreeMap::new();
-        deltas.insert(leaf, base_delta.clone());
+        // Group deltas accumulate as owned values; the leaf seed stays a
+        // borrow of the caller's base delta (never cloned into the map).
+        let mut deltas: BTreeMap<GroupId, Cow<'_, Delta>> = BTreeMap::new();
+        deltas.insert(leaf, Cow::Borrowed(base_delta));
         let mut recs: BTreeMap<GroupId, GroupRec> = BTreeMap::new();
 
         let levels = self.prop_ctx.levels.get(table);
@@ -468,10 +528,26 @@ impl IvmEngine {
             // report — u64 addition is order-independent, so the counters
             // match the sequential path exactly.
             for level in levels {
-                let work: Vec<(GroupId, OpId)> = level
-                    .iter()
-                    .filter_map(|&g| track.choices.get(&g).map(|&op| (g, op)))
-                    .collect();
+                let mut work: Vec<(GroupId, OpId)> = Vec::with_capacity(level.len());
+                for &g in level {
+                    let Some(&op) = track.choices.get(&g) else {
+                        continue;
+                    };
+                    if let Some(progs) = fused {
+                        if let Some(prog) = progs.get(&g) {
+                            // Fused chain group: cheap enough to run inline
+                            // (no queries, no I/O) rather than spawn.
+                            if fused_needed.is_some_and(|n| n.contains(&g)) {
+                                let d = spacetime_delta::propagate_chain(prog, base_delta)?;
+                                if !d.is_empty() {
+                                    deltas.insert(g, Cow::Owned(d));
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                    work.push((g, op));
+                }
                 if work.len() <= 1 {
                     let mut ctx = CostCtx::new(&self.memo, catalog, &self.model);
                     for &(g, op) in &work {
@@ -506,7 +582,7 @@ impl IvmEngine {
                                     },
                                 );
                             }
-                            deltas.insert(g, d);
+                            deltas.insert(g, Cow::Owned(d));
                         }
                         report.queries_posed += posed;
                     }
@@ -575,7 +651,7 @@ impl IvmEngine {
                                 },
                             );
                         }
-                        deltas.insert(g, d);
+                        deltas.insert(g, Cow::Owned(d));
                     }
                 }
             }
@@ -585,6 +661,20 @@ impl IvmEngine {
                 let Some(&op) = track.choices.get(&g) else {
                     continue;
                 };
+                if let Some(progs) = fused {
+                    if let Some(prog) = progs.get(&g) {
+                        // Fused chain group: run the whole compiled chain
+                        // off the base delta if anything downstream needs
+                        // this group's delta; skip it entirely otherwise.
+                        if fused_needed.is_some_and(|n| n.contains(&g)) {
+                            let d = spacetime_delta::propagate_chain(prog, base_delta)?;
+                            if !d.is_empty() {
+                                deltas.insert(g, Cow::Owned(d));
+                            }
+                        }
+                        continue;
+                    }
+                }
                 let mut posed = 0u64;
                 let mut probe = opts.trace.then(GroupProbe::default);
                 let t0 = opts.trace.then(std::time::Instant::now);
@@ -614,33 +704,34 @@ impl IvmEngine {
                             },
                         );
                     }
-                    deltas.insert(g, d);
+                    deltas.insert(g, Cow::Owned(d));
                 }
                 report.queries_posed += posed;
             }
         }
 
-        // Deltas for materialized nodes, children before parents (same
-        // topo order), so commit order never violates referential
-        // assumptions.
-        let view_deltas: Vec<(GroupId, Delta)> = order
-            .iter()
-            .filter(|g| self.materialized.contains_key(g))
-            .filter_map(|&g| deltas.get(&g).map(|d| (g, d.clone())))
-            .filter(|(_, d)| !d.is_empty())
-            .collect();
-        // All delta-carrying groups minus the leaf's seed entry.
+        // All delta-carrying groups minus the leaf's seed entry. (Read
+        // before view deltas are moved out of the map below.)
         obs::counter_add(
             metric::TRACK_GROUPS_PROPAGATED,
             deltas.len().saturating_sub(1) as u64,
         );
+        // Deltas for materialized nodes, children before parents (same
+        // topo order), so commit order never violates referential
+        // assumptions. Moved out of the map, not cloned — each group
+        // appears once in `order`.
+        let view_deltas: Vec<(GroupId, Delta)> = order
+            .iter()
+            .filter(|g| self.materialized.contains_key(g))
+            .filter_map(|&g| deltas.remove(&g).map(|d| (g, d.into_owned())))
+            .filter(|(_, d)| !d.is_empty())
+            .collect();
         obs::counter_add(metric::QUERIES_POSED, report.queries_posed);
         let trace = opts.trace.then(|| {
             self.plan_trace(catalog, table, base_delta, leaf, order, levels, &recs)
         });
         Ok(PlannedUpdate {
             table: table.to_string(),
-            base_delta: base_delta.clone(),
             view_deltas,
             report,
             trace,
@@ -763,7 +854,7 @@ impl IvmEngine {
         table: &str,
         g: GroupId,
         op: OpId,
-        deltas: &BTreeMap<GroupId, Delta>,
+        deltas: &BTreeMap<GroupId, Cow<'_, Delta>>,
         exec: &QueryExec<'_>,
         ctx: &mut CostCtx<'_>,
         batched: bool,
@@ -790,12 +881,12 @@ impl IvmEngine {
         let Some(&delta_child) = carriers.first() else {
             return Ok(None);
         };
-        let d_in = deltas
+        let d_in: &Delta = deltas
             .get(&children[delta_child])
             .ok_or_else(|| {
                 IvmError::Internal("carrier child lost its delta during propagation".into())
             })?
-            .clone();
+            .as_ref();
         if let Some(p) = probe.as_mut() {
             p.delta_in = d_in.size();
         }
@@ -837,7 +928,7 @@ impl IvmEngine {
             posed,
             queries: probe.map(|p| &mut p.queries),
         };
-        let d_out = spacetime_delta::propagate(&node, delta_child, &d_in, &mut access)?;
+        let d_out = spacetime_delta::propagate(&node, delta_child, d_in, &mut access)?;
         if let (Some(cache), Some(fp)) = (shared, fp) {
             cache.put(fp.clone(), d_out.clone());
         }
@@ -902,6 +993,36 @@ impl IvmEngine {
             };
             let rel = &mut Arc::make_mut(t).relation;
             apply_to_relation(delta, rel, io)?;
+        }
+        Ok(report)
+    }
+
+    /// [`IvmEngine::commit_update`] with journaling — the sequential
+    /// commit fast path. Deltas are applied to the live catalog tables
+    /// **in place** (no staged copies: the catalog's `Arc`s are unshared
+    /// in steady state, so `Arc::make_mut` mutates without copying a
+    /// single shard), and every op is recorded in `undo` so the caller can
+    /// roll the whole transaction back on any later failure.
+    ///
+    /// The `ivm::commit_view` failpoint fires before each view delta,
+    /// exactly as on the staged paths.
+    pub fn commit_in_place(
+        &self,
+        catalog: &mut Catalog,
+        planned: &PlannedUpdate,
+        undo: &mut spacetime_delta::UndoLog,
+    ) -> IvmResult<UpdateReport> {
+        let mut report = UpdateReport::default();
+        for (g, delta) in &planned.view_deltas {
+            spacetime_storage::fault::fire("ivm::commit_view")?;
+            let table = self.backing_table(g)?;
+            let io = if self.roots.contains(g) {
+                &mut report.root_io
+            } else {
+                &mut report.aux_io
+            };
+            let rel = &mut catalog.table_mut(table)?.relation;
+            spacetime_delta::apply_to_relation_undo(delta, rel, io, undo)?;
         }
         Ok(report)
     }

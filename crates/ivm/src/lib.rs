@@ -36,7 +36,7 @@ pub mod trace;
 pub mod verify;
 
 pub use constraints::{Assertion, Violation};
-pub use database::{Database, ViewSelection};
+pub use database::{Database, PhaseTotals, ViewSelection};
 pub use engine::{IvmEngine, PropagationMode, UpdateReport};
 pub use pipeline::{ExecutionMode, PipelinePool, SharedDeltaCache};
 pub use trace::TraceNode;

@@ -39,10 +39,15 @@ enum Buckets {
 
 /// A hash index mapping a key (values of `key_cols`) to the bag of matching
 /// tuples.
+///
+/// Like [`Bag`], maintenance records disturbed bucket shards in a dirty
+/// mask so commits can report how much of the index one transaction
+/// touched.
 #[derive(Debug, Clone)]
 pub struct HashIndex {
     key_cols: Vec<usize>,
     buckets: Buckets,
+    dirty: u64,
 }
 
 impl Default for HashIndex {
@@ -90,7 +95,11 @@ impl HashIndex {
         } else {
             Buckets::Multi(empty_shards())
         };
-        HashIndex { key_cols, buckets }
+        HashIndex {
+            key_cols,
+            buckets,
+            dirty: 0,
+        }
     }
 
     /// The indexed column positions.
@@ -125,7 +134,9 @@ impl HashIndex {
             Buckets::Single(shards) => {
                 let col = self.key_cols[0];
                 let key = t.get(col).unwrap_or(&Value::Null);
-                let map = Arc::make_mut(&mut shards[shard_of_value(key)]);
+                let s = shard_of_value(key);
+                self.dirty |= 1 << s;
+                let map = Arc::make_mut(&mut shards[s]);
                 match map.get_mut(key) {
                     Some(bucket) => bucket.insert(t.clone(), n),
                     None => {
@@ -137,6 +148,7 @@ impl HashIndex {
             }
             Buckets::Multi(shards) => {
                 let s = shard_of_tuple_key(t, &self.key_cols);
+                self.dirty |= 1 << s;
                 let map = Arc::make_mut(&mut shards[s]);
                 let key: Box<[Value]> = self
                     .key_cols
@@ -155,7 +167,9 @@ impl HashIndex {
             Buckets::Single(shards) => {
                 let col = self.key_cols[0];
                 let key = t.get(col).unwrap_or(&Value::Null);
-                let map = Arc::make_mut(&mut shards[shard_of_value(key)]);
+                let s = shard_of_value(key);
+                self.dirty |= 1 << s;
+                let map = Arc::make_mut(&mut shards[s]);
                 if let Some(bucket) = map.get_mut(key) {
                     bucket.remove_up_to(t, n);
                     if bucket.is_empty() {
@@ -165,6 +179,7 @@ impl HashIndex {
             }
             Buckets::Multi(shards) => {
                 let s = shard_of_tuple_key(t, &self.key_cols);
+                self.dirty |= 1 << s;
                 let map = Arc::make_mut(&mut shards[s]);
                 let key: Box<[Value]> = self
                     .key_cols
@@ -213,9 +228,27 @@ impl HashIndex {
         } else {
             Buckets::Multi(empty_shards())
         };
+        self.dirty = u64::MAX;
         for (t, c) in data.iter() {
             self.insert(t, c);
         }
+    }
+
+    /// Bitmask of bucket shards disturbed since the last
+    /// [`HashIndex::clear_dirty`].
+    pub fn dirty_mask(&self) -> u64 {
+        self.dirty
+    }
+
+    /// Number of bucket shards disturbed since the last
+    /// [`HashIndex::clear_dirty`].
+    pub fn dirty_shards(&self) -> u32 {
+        self.dirty.count_ones()
+    }
+
+    /// Reset the dirty-shard mask (content unchanged).
+    pub fn clear_dirty(&mut self) {
+        self.dirty = 0;
     }
 }
 

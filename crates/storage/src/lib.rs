@@ -33,6 +33,7 @@
 //! * [`fault`] — deterministic fault injection (failpoints), compiled to
 //!   no-ops unless the `failpoints` feature is enabled.
 
+pub mod arena;
 pub mod bag;
 pub mod catalog;
 pub mod error;
@@ -47,6 +48,7 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
+pub use arena::TxnArena;
 pub use bag::Bag;
 pub use catalog::{Catalog, CatalogSnapshot, Table};
 pub use error::{StorageError, StorageResult};

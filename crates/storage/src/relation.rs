@@ -258,6 +258,21 @@ impl Relation {
         self.data = data;
         Ok(())
     }
+
+    /// Total number of storage shards (data bag plus every index)
+    /// disturbed since the last [`Relation::clear_dirty`] — how much of
+    /// this relation the current transaction actually touched.
+    pub fn dirty_shards(&self) -> u32 {
+        self.data.dirty_shards() + self.indexes.iter().map(HashIndex::dirty_shards).sum::<u32>()
+    }
+
+    /// Reset all dirty-shard masks (content unchanged).
+    pub fn clear_dirty(&mut self) {
+        self.data.clear_dirty();
+        for idx in &mut self.indexes {
+            idx.clear_dirty();
+        }
+    }
 }
 
 #[cfg(test)]
