@@ -19,6 +19,13 @@ baseline in every scenario — allocation counts are workload-determined,
 not hardware-determined, so this is a tight assertion that the arena and
 fused kernels actually absorb hot-path allocation.
 
+The ``serve`` section (the multi-client sharded-scheduler benchmark) is
+ratcheted the same way when both files carry it: sustained ``txns_per_sec``
+at shard counts 1 and 4 must stay above the floor, and the run's
+hardware-independent determinism flags (``replay_identical`` per point,
+``union_matches_unsharded``) must all be true. Baselines predating the
+serve benchmark are skipped rather than forcing a flag-day refresh.
+
 Usage: throughput_ratchet.py <fresh.json> <baseline.json> [min_ratio] [--alloc-check]
 """
 
@@ -26,14 +33,15 @@ import json
 import sys
 
 MODES = ("per_key", "batched", "parallel", "fused")
+SERVE_SHARD_FLOORS = (1, 4)
 
 
-def scenarios(path):
+def load(path):
     with open(path) as f:
         doc = json.load(f)
     if not doc.get("smoke", False):
         sys.exit(f"{path}: not a smoke run; the ratchet compares smoke against smoke")
-    return {s["name"]: s for s in doc["scenarios"]}
+    return doc
 
 
 def throughput_ratchet(fresh, base, min_ratio):
@@ -96,6 +104,48 @@ def alloc_ratchet(fresh, base):
     return failures
 
 
+def serve_ratchet(fresh_doc, base_doc, min_ratio):
+    base = base_doc.get("serve")
+    if base is None:
+        print("serve: baseline has no serve section; skipping")
+        return []
+    fresh = fresh_doc.get("serve")
+    if fresh is None:
+        return ["fresh run has no serve section but the baseline does"]
+    failures = []
+    base_pts = {p["shards"]: p for p in base["points"]}
+    fresh_pts = {p["shards"]: p for p in fresh["points"]}
+    for shards in SERVE_SHARD_FLOORS:
+        if shards not in base_pts:
+            continue
+        if shards not in fresh_pts:
+            failures.append(f"serve point at {shards} shard(s) missing from fresh run")
+            continue
+        got = fresh_pts[shards]["txns_per_sec"]
+        want = base_pts[shards]["txns_per_sec"]
+        ratio = got / want if want else float("inf")
+        status = "ok" if ratio >= min_ratio else "REGRESSED"
+        print(
+            f"{'serve':10} {f'{shards}shard':9} {got:>10.1f} txn/s  baseline {want:>10.1f}"
+            f"  ratio {ratio:5.2f}  (floor {min_ratio})  {status}"
+        )
+        if ratio < min_ratio:
+            failures.append(
+                f"serve at {shards} shard(s): {got:.1f} txn/s is below "
+                f"{min_ratio} x baseline {want:.1f}"
+            )
+    # Determinism flags are workload-determined, not hardware-determined:
+    # any false is a correctness regression, not noise.
+    for p in fresh["points"]:
+        if not p.get("replay_identical", False):
+            failures.append(
+                f"serve at {p['shards']} shard(s): replay_identical is false"
+            )
+    if not fresh.get("union_matches_unsharded", False):
+        failures.append("serve: union_matches_unsharded is false")
+    return failures
+
+
 def main():
     args = [a for a in sys.argv[1:] if a != "--alloc-check"]
     alloc_check = "--alloc-check" in sys.argv[1:]
@@ -104,10 +154,13 @@ def main():
     fresh_path, base_path = args[0], args[1]
     min_ratio = float(args[2]) if len(args) > 2 else 0.2
 
-    fresh = scenarios(fresh_path)
-    base = scenarios(base_path)
+    fresh_doc = load(fresh_path)
+    base_doc = load(base_path)
+    fresh = {s["name"]: s for s in fresh_doc["scenarios"]}
+    base = {s["name"]: s for s in base_doc["scenarios"]}
 
     failures = throughput_ratchet(fresh, base, min_ratio)
+    failures += serve_ratchet(fresh_doc, base_doc, min_ratio)
     if alloc_check:
         failures += alloc_ratchet(fresh, base)
 

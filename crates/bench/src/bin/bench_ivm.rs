@@ -27,16 +27,21 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use spacetime_bench::scenarios::build_wide_pipeline_db;
-use spacetime_bench::workload::{load_paper_data, mixed_workload, paper_schema_db};
+use spacetime_bench::workload::{
+    client_workload, load_paper_data, mixed_workload, paper_schema_db,
+};
 use spacetime_cost::TransactionType;
 use spacetime_ivm::{
     verify_all_views, Database, ExecutionMode, PhaseTotals, PipelinePool, PropagationMode,
-    ViewSelection,
+    SchedStats, ShardedDatabase, Txn, TxnScheduler, UpdateReport, ViewSelection,
 };
 use spacetime_obs::quantile_sorted;
+use spacetime_storage::ShardSpec;
 
 const SEED: u64 = 9406; // SIGMOD '96
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Client streams in the multi-client serving benchmark.
+const SERVE_CLIENTS: usize = 8;
 
 /// Heap-allocation counting, compiled in with `--features alloc-stats`:
 /// a `#[global_allocator]` shim over `System` that counts every
@@ -151,6 +156,10 @@ struct Measured {
     batched: ModeRun,
     parallel: ModeRun,
     fused: ModeRun,
+    /// The width the parallel-mode database actually ran at (satellite of
+    /// the 1-CPU auto-degrade: 1 on a single-core host with no explicit
+    /// override, else the pool width).
+    parallel_effective_width: usize,
     reports_identical: bool,
     views_identical: bool,
     verified: bool,
@@ -158,6 +167,48 @@ struct Measured {
     materialized_nodes: usize,
     /// Pinned-pool txn throughput per thread count (wide scenario only).
     thread_scaling: Vec<SweepPoint>,
+}
+
+/// One shard count of the multi-client serving sweep.
+struct ServePoint {
+    shards: usize,
+    wall: Duration,
+    latencies_ns: Vec<u64>,
+    stats: SchedStats,
+    replay_identical: bool,
+}
+
+impl ServePoint {
+    fn txns_per_sec(&self, n: usize) -> f64 {
+        n as f64 / self.wall.as_secs_f64()
+    }
+
+    fn latency_quantiles_ns(&self) -> (u64, u64, u64, u64) {
+        let mut v = self.latencies_ns.clone();
+        v.sort_unstable();
+        (
+            quantile_sorted(&v, 0.50),
+            quantile_sorted(&v, 0.95),
+            quantile_sorted(&v, 0.99),
+            v.last().copied().unwrap_or(0),
+        )
+    }
+}
+
+/// The multi-client serving benchmark's results.
+struct ServeMeasured {
+    departments: usize,
+    emps_per_dept: usize,
+    transactions: usize,
+    points: Vec<ServePoint>,
+    union_matches_unsharded: bool,
+    /// Scheduler counters accumulated across the concurrent runs only
+    /// (serial replays record no metrics) — balanced against the metrics
+    /// plane.
+    sched_totals: SchedStats,
+    /// Posed-query totals from every `apply_delta` this benchmark drove
+    /// (control + concurrent + replay), for the global metrics book.
+    queries_posed: u64,
 }
 
 /// The view definitions under maintenance: a join + aggregate + HAVING
@@ -350,6 +401,7 @@ fn run_scenario(s: Scenario) -> Measured {
         batched: ba,
         parallel: par,
         fused: fu,
+        parallel_effective_width: db_par.effective_width(),
         reports_identical,
         views_identical,
         verified,
@@ -374,6 +426,170 @@ fn run_scenario(s: Scenario) -> Measured {
         measured.fused.io_total,
     );
     measured
+}
+
+/// The multi-client serving benchmark: `SERVE_CLIENTS` closed-loop client
+/// streams over disjoint department domains, round-robin interleaved into
+/// one admission queue, scheduled by [`TxnScheduler`] over a
+/// [`ShardedDatabase`] at each shard count in `shard_counts`. Per point:
+/// sustained txn/s and exact latency percentiles, plus the determinism
+/// checks — every concurrent run is replayed serially on a fresh
+/// partition and must be bit-identical in every report and every shard
+/// table, the single-shard run must match an unsharded control exactly,
+/// and every shard union must equal the control's tables.
+fn run_serve(
+    departments: usize,
+    emps_per_dept: usize,
+    txns_per_client: usize,
+    shard_counts: &[usize],
+) -> ServeMeasured {
+    eprintln!(
+        "serve: {departments} depts x {emps_per_dept} emps, {SERVE_CLIENTS} clients x {txns_per_client} txns, shards {shard_counts:?}"
+    );
+    // The template every partition clones: the paper schema under the
+    // fused data plane (the fastest single-stream mode — the serving
+    // layer's concurrency stacks on top of it).
+    let mut template = paper_schema_db();
+    template.set_view_selection(ViewSelection::Exhaustive);
+    template.set_propagation_mode(PropagationMode::Fused);
+    load_paper_data(&mut template, departments, emps_per_dept);
+    template.declare_workload(vec![
+        TransactionType::modify(">Emp", "Emp", 1.0),
+        TransactionType::modify(">Dept", "Dept", 1.0),
+    ]);
+    for view in VIEWS {
+        template.execute_sql(view).expect("view DDL");
+    }
+
+    let streams: Vec<_> = (0..SERVE_CLIENTS)
+        .map(|c| {
+            client_workload(
+                departments,
+                emps_per_dept,
+                txns_per_client,
+                SEED,
+                c,
+                SERVE_CLIENTS,
+            )
+        })
+        .collect();
+    let mut txns: Vec<Txn> = Vec::with_capacity(SERVE_CLIENTS * txns_per_client);
+    for k in 0..txns_per_client {
+        for stream in &streams {
+            txns.push(vec![stream[k].clone()]);
+        }
+    }
+    let transactions = txns.len();
+
+    // Unsharded control: the whole queue, in admission order, on one
+    // full database.
+    let mut control = template.clone();
+    let mut queries_posed = 0u64;
+    let mut control_reports: Vec<UpdateReport> = Vec::with_capacity(transactions);
+    for txn in &txns {
+        let r = control.apply_transaction(txn.clone()).expect("control txn");
+        queries_posed += r.queries_posed;
+        control_reports.push(r);
+    }
+
+    // Emp is sharded by DName (column 1), Dept by DName (column 0): every
+    // view joins or groups on DName, so partitioned serving is exact.
+    let spec = ShardSpec::new().with("Emp", vec![1]).with("Dept", vec![0]);
+    let mut points = Vec::new();
+    let mut sched_totals = SchedStats::default();
+    let mut union_matches = true;
+    for &shards in shard_counts {
+        let sharded =
+            ShardedDatabase::partition(&template, spec.clone(), shards).expect("partition");
+        let sched = TxnScheduler::new(&sharded, Arc::new(PipelinePool::new(shards)));
+        let t0 = Instant::now();
+        let out = sched.run(&txns).expect("scheduler run");
+        let wall = t0.elapsed();
+        let reports: Vec<&UpdateReport> = out
+            .results
+            .iter()
+            .map(|r| r.as_ref().expect("serve txn"))
+            .collect();
+        queries_posed += reports.iter().map(|r| r.queries_posed).sum::<u64>();
+        sched_totals.absorb(&out.stats);
+
+        // Determinism: serial replay on a second fresh partition is
+        // bit-identical in every report and every shard table.
+        let replayed =
+            ShardedDatabase::partition(&template, spec.clone(), shards).expect("partition");
+        let replay = TxnScheduler::new(&replayed, Arc::new(PipelinePool::new(1)))
+            .run_serial(&txns)
+            .expect("serial replay");
+        let mut replay_identical = true;
+        for (a, b) in out.results.iter().zip(replay.results.iter()) {
+            let (a, b) = (a.as_ref().expect("serve txn"), b.as_ref().expect("replay txn"));
+            assert_eq!(a, b, "serial replay diverged from the concurrent reports");
+            replay_identical &= a == b;
+        }
+        queries_posed += replay
+            .results
+            .iter()
+            .map(|r| r.as_ref().expect("replay txn").queries_posed)
+            .sum::<u64>();
+        for s in 0..shards {
+            let a = sharded.shard(s);
+            let b = replayed.shard(s);
+            for (name, table) in a.catalog.iter() {
+                let other = b.catalog.table(name).expect("replay table");
+                let same = table.relation.data() == other.relation.data();
+                assert!(same, "shard {s} table {name} diverged under serial replay");
+                replay_identical &= same;
+            }
+        }
+        // One shard is the degenerate case: the scheduler must reproduce
+        // the unsharded control report-for-report.
+        if shards == 1 {
+            for (r, c) in reports.iter().zip(control_reports.iter()) {
+                assert_eq!(*r, c, "single-shard serve diverged from the unsharded control");
+            }
+        }
+        // The shard-locality contract: every base and materialized
+        // table's shard union equals the unsharded control; every shard
+        // verifies against recomputation.
+        let mut names: Vec<String> = vec!["Emp".into(), "Dept".into()];
+        names.extend(materialized_names(&template));
+        for name in &names {
+            let union = sharded.union_table(name).expect("union");
+            let ctrl = control.catalog.table(name).expect("control table");
+            let same = &union == ctrl.relation.data();
+            assert!(same, "shard union of {name} diverged from the unsharded control");
+            union_matches &= same;
+        }
+        assert!(
+            sharded.verify_all_shards().expect("verify").is_empty(),
+            "a shard diverged from recomputation"
+        );
+        eprintln!(
+            "  serve {shards} shard(s): {:>8.3}s ({:>8.1} txn/s)   waves {}   concurrent {}   deferrals {}   cross-shard {}",
+            wall.as_secs_f64(),
+            transactions as f64 / wall.as_secs_f64(),
+            out.stats.waves,
+            out.stats.admitted_concurrent,
+            out.stats.conflict_deferrals,
+            out.stats.cross_shard_txns,
+        );
+        points.push(ServePoint {
+            shards,
+            wall,
+            latencies_ns: out.latencies_ns,
+            stats: out.stats,
+            replay_identical,
+        });
+    }
+    ServeMeasured {
+        departments,
+        emps_per_dept,
+        transactions,
+        points,
+        union_matches_unsharded: union_matches,
+        sched_totals,
+        queries_posed,
+    }
 }
 
 fn main() {
@@ -429,6 +645,14 @@ fn main() {
     };
 
     let measured: Vec<Measured> = scenarios.into_iter().map(run_scenario).collect();
+
+    // The multi-client serving benchmark (8 closed-loop clients over the
+    // sharded scheduler, swept across shard counts).
+    let serve = if smoke {
+        run_serve(24, 5, 30, &[1, 2, 4])
+    } else {
+        run_serve(256, 8, 150, &[1, 2, 4, 8])
+    };
 
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -500,6 +724,13 @@ fn main() {
             }
             json.push_str("      },\n");
         }
+        // The width parallel mode actually ran at (1 when the 1-CPU
+        // auto-degrade kicked in; the pool width otherwise).
+        let _ = writeln!(
+            json,
+            "      \"parallel_effective_width\": {},",
+            m.parallel_effective_width
+        );
         let _ = writeln!(
             json,
             "      \"speedup\": {:.3},",
@@ -545,6 +776,41 @@ fn main() {
     }
     json.push_str("  ],\n");
 
+    json.push_str("  \"serve\": {\n");
+    let _ = writeln!(json, "    \"clients\": {SERVE_CLIENTS},");
+    let _ = writeln!(json, "    \"departments\": {},", serve.departments);
+    let _ = writeln!(json, "    \"emps_per_dept\": {},", serve.emps_per_dept);
+    let _ = writeln!(json, "    \"transactions\": {},", serve.transactions);
+    let _ = writeln!(
+        json,
+        "    \"union_matches_unsharded\": {},",
+        serve.union_matches_unsharded
+    );
+    json.push_str("    \"points\": [\n");
+    for (j, p) in serve.points.iter().enumerate() {
+        let (p50, p95, p99, max) = p.latency_quantiles_ns();
+        let _ = write!(
+            json,
+            "      {{ \"shards\": {}, \"wall_s\": {:.6}, \"txns_per_sec\": {:.1}, \"latency_ns\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max} }}, \"waves\": {}, \"max_wave_width\": {}, \"admitted_concurrent\": {}, \"conflict_serialized\": {}, \"cross_shard_txns\": {}, \"replay_identical\": {} }}",
+            p.shards,
+            p.wall.as_secs_f64(),
+            p.txns_per_sec(serve.transactions),
+            p.stats.waves,
+            p.stats.max_wave_width,
+            p.stats.admitted_concurrent,
+            p.stats.conflict_deferrals,
+            p.stats.cross_shard_txns,
+            p.replay_identical,
+        );
+        json.push_str(if j + 1 == serve.points.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+
     // Process-wide metrics: empty (and `metrics_recorded: false`) in the
     // default build, fully populated under `--features metrics`. CI greps
     // both states.
@@ -560,11 +826,12 @@ fn main() {
                     .map(|p| p.queries_posed)
                     .sum::<u64>()
         })
-        .sum();
+        .sum::<u64>()
+        + serve.queries_posed;
     let snap = spacetime_obs::snapshot();
     #[cfg(feature = "metrics")]
-    assert_metrics_consistent(&snap, expected_queries_posed);
-    let _ = expected_queries_posed;
+    assert_metrics_consistent(&snap, expected_queries_posed, &serve.sched_totals);
+    let _ = (expected_queries_posed, &serve.sched_totals);
     let _ = writeln!(
         json,
         "  \"metrics_recorded\": {},",
@@ -585,7 +852,11 @@ fn main() {
 /// `apply_delta` in this binary flows through them; data loading writes
 /// relations directly).
 #[cfg(feature = "metrics")]
-fn assert_metrics_consistent(snap: &spacetime_obs::MetricsSnapshot, expected_queries_posed: u64) {
+fn assert_metrics_consistent(
+    snap: &spacetime_obs::MetricsSnapshot,
+    expected_queries_posed: u64,
+    sched: &SchedStats,
+) {
     use spacetime_obs::names as metric;
     for (lookups, hits, misses) in [
         (
@@ -621,5 +892,35 @@ fn assert_metrics_consistent(snap: &spacetime_obs::MetricsSnapshot, expected_que
         .histogram(metric::UPDATE_LATENCY_NS)
         .expect("update latency histogram recorded");
     assert!(latency.count > 0);
+    // The scheduler's counters must balance exactly against the
+    // `SchedStats` accumulated by the serving benchmark (the only
+    // scheduler user in this process; serial replays record nothing).
+    for (name, expected) in [
+        (metric::SCHED_TXNS, sched.txns),
+        (metric::SCHED_ADMITTED_CONCURRENT, sched.admitted_concurrent),
+        (metric::SCHED_CONFLICT_SERIALIZED, sched.conflict_deferrals),
+        (metric::SCHED_CROSS_SHARD_TXNS, sched.cross_shard_txns),
+        (metric::SCHED_WAVES, sched.waves),
+    ] {
+        assert_eq!(
+            snap.counter(name),
+            expected,
+            "scheduler counter {name} disagrees with the SchedStats books"
+        );
+    }
+    // Every admitted transaction completed, so the queue-depth gauges
+    // (global and per-shard) must have drained back to zero.
+    assert_eq!(
+        snap.gauge(metric::SCHED_QUEUE_DEPTH),
+        0.0,
+        "scheduler queue-depth gauge did not drain"
+    );
+    for s in 0..16 {
+        assert_eq!(
+            snap.gauge(metric::sched_shard_queue_depth(s)),
+            0.0,
+            "shard {s} queue-depth gauge did not drain"
+        );
+    }
     eprintln!("metrics consistency: ok");
 }

@@ -24,4 +24,4 @@ pub use scenarios::{
     adepts_status, figure5, join_chain, paper_names, problem_dept, scaling_workload, stacked_view,
     PaperScenario,
 };
-pub use workload::{load_paper_data, paper_schema_db, random_emp_updates};
+pub use workload::{client_workload, load_paper_data, paper_schema_db, random_emp_updates};

@@ -25,10 +25,10 @@ use spacetime_bench::workload::{load_paper_data, mixed_workload, paper_schema_db
 use spacetime_delta::Delta;
 use spacetime_ivm::{
     verify_all_views, Database, ExecutionMode, IvmError, PipelinePool, PropagationMode,
-    UpdateReport,
+    ShardedDatabase, Txn, TxnScheduler, UpdateReport,
 };
 use spacetime_storage::fault::{self, FaultAction, FaultPlan, SITES};
-use spacetime_storage::Bag;
+use spacetime_storage::{Bag, ShardSpec};
 
 /// Quiet the default panic hook for injected panics: the sweep triggers
 /// dozens of *expected* panics, whose backtraces would drown the test log.
@@ -113,6 +113,11 @@ fn contents(db: &Database) -> Vec<(String, Bag)> {
         .iter()
         .map(|(n, t)| (n.to_string(), t.relation.data().clone()))
         .collect()
+}
+
+/// Every table of every shard, in shard order.
+fn shard_contents(s: &ShardedDatabase) -> Vec<Vec<(String, Bag)>> {
+    (0..s.n_shards()).map(|i| contents(&s.shard(i))).collect()
 }
 
 /// A workload of transactions that all succeed unfaulted (pre-filtered
@@ -436,6 +441,211 @@ fn parallel_commit_failure_in_second_engine_restores_first() {
         // The identical transaction succeeds once the fault is gone.
         db.apply_delta("Emp", delta.clone()).unwrap();
         assert!(verify_all_views(&db).unwrap().is_empty());
+    }
+}
+
+/// One cross-shard sweep cell: partition fresh, fault (site, action,
+/// on_hit), run the spanning transaction through a width-`width`
+/// scheduler, and assert the all-or-nothing contract across the whole
+/// footprint — every shard bit-identical to its pre-transaction state
+/// after a fault, and a clean retry reproducing the unfaulted control.
+#[allow(clippy::too_many_arguments)]
+fn cross_shard_cell(
+    template: &Database,
+    spec: &ShardSpec,
+    n_shards: usize,
+    txn: &Txn,
+    ctrl_report: &UpdateReport,
+    ctrl_contents: &[Vec<(String, Bag)>],
+    site: &'static str,
+    action: FaultAction,
+    on_hit: u64,
+    width: usize,
+) {
+    let sharded = ShardedDatabase::partition(template, spec.clone(), n_shards).unwrap();
+    let pre = shard_contents(&sharded);
+    let plan = match action {
+        FaultAction::Error => FaultPlan::new().error_at(site, on_hit),
+        FaultAction::Panic => FaultPlan::new().panic_at(site, on_hit),
+    };
+    let guard = fault::install(plan);
+    let sched = TxnScheduler::new(&sharded, Arc::new(PipelinePool::new(width)));
+    let out = sched.run(std::slice::from_ref(txn)).unwrap();
+    let fired = guard.fired(site);
+    let label = format!("{site}/{action:?}/hit{on_hit}/w{width}");
+    match &out.results[0] {
+        Err(err) => {
+            assert!(fired, "{label}: errored without the fault firing: {err}");
+            match action {
+                FaultAction::Error => assert!(
+                    err.to_string().contains("injected fault"),
+                    "{label}: unexpected error: {err}"
+                ),
+                FaultAction::Panic => assert!(
+                    matches!(err, IvmError::TaskPanicked { message }
+                        if message.contains("injected panic")),
+                    "{label}: expected TaskPanicked, got: {err}"
+                ),
+            }
+            // The protocol's core promise: a failure mid-footprint
+            // restores every already-committed shard — all shards are
+            // bit-identical to their pre-transaction state.
+            assert_eq!(
+                shard_contents(&sharded),
+                pre,
+                "{label}: a shard was torn by the fault"
+            );
+        }
+        Ok(report) => {
+            // The armed hit count was never reached: indistinguishable
+            // from control.
+            assert!(!fired, "{label}: fired yet the transaction succeeded");
+            assert_eq!(report, ctrl_report, "{label}: report diverged");
+        }
+    }
+    // Clear the fault and retry (if the fault aborted the transaction):
+    // the sharded database converges to the unfaulted control exactly.
+    guard.clear();
+    if shard_contents(&sharded) == pre {
+        let retry = sched.run(std::slice::from_ref(txn)).unwrap();
+        let r = retry.results[0]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{label}: retry failed: {e}"));
+        assert_eq!(r, ctrl_report, "{label}: retry report diverged");
+    }
+    drop(guard);
+    assert_eq!(
+        shard_contents(&sharded),
+        ctrl_contents,
+        "{label}: final contents diverged from control"
+    );
+    assert!(
+        sharded.verify_all_shards().unwrap().is_empty(),
+        "{label}: a shard diverged from recomputation"
+    );
+}
+
+/// The cross-shard commit protocol under fault injection: a transaction
+/// whose footprint spans several shards, faulted at every commit-path
+/// site (typed error *and* injected panic) at hit thresholds reaching
+/// from the first shard's commit into the last one's, across scheduler
+/// pool widths 1/2/4/8 — plus the dispatch-site panic, which fires before
+/// any shard is touched. Every cell asserts post-failure bit-identity of
+/// *every* shard and retry-equals-control.
+#[test]
+fn cross_shard_commit_fault_sweep() {
+    quiet_injected_panics();
+    let _serial = fault::serial_guard();
+    let template = template();
+    let spec = ShardSpec::new().with("Emp", vec![1]).with("Dept", vec![0]);
+    const N_SHARDS: usize = 4;
+
+    // One transaction spanning several shards: a raise in every
+    // department (each department lives in exactly one shard, so the
+    // footprint is however many shards the five departments hash into).
+    let txn: Txn = {
+        let mut emp = Delta::new();
+        for dept in 0..5 {
+            emp.push_modify(
+                spacetime_storage::tuple![
+                    format!("emp{dept:05}_0"),
+                    format!("dept{dept:05}"),
+                    100_i64
+                ],
+                spacetime_storage::tuple![
+                    format!("emp{dept:05}_0"),
+                    format!("dept{dept:05}"),
+                    180_i64
+                ],
+                1,
+            );
+        }
+        vec![("Emp".to_string(), emp)]
+    };
+    {
+        // The fixture must actually exercise the cross-shard path.
+        let sharded = ShardedDatabase::partition(&template, spec.clone(), N_SHARDS).unwrap();
+        let parts = sharded.route_delta("Emp", &txn[0].1).unwrap();
+        assert!(
+            parts.len() >= 2,
+            "cross-shard fixture only spans {} shard(s)",
+            parts.len()
+        );
+    }
+
+    // The unfaulted control: the transaction's report and the final
+    // contents of every shard.
+    let (ctrl_report, ctrl_contents) = {
+        let sharded = ShardedDatabase::partition(&template, spec.clone(), N_SHARDS).unwrap();
+        let out = TxnScheduler::new(&sharded, Arc::new(PipelinePool::new(1)))
+            .run_serial(std::slice::from_ref(&txn))
+            .unwrap();
+        let report = out.results.into_iter().next().unwrap().unwrap();
+        (report, shard_contents(&sharded))
+    };
+
+    // Calibrate each site's total crossings of one unfaulted protocol run
+    // (armed far past any plausible threshold so nothing fires), so the
+    // sweep can land faults in the *last* shard's commit — after earlier
+    // shards already committed.
+    let commit_sites = ["ivm::commit_view", "delta::apply_to", "storage::restore_table"];
+    let mut site_hits = Vec::new();
+    for site in commit_sites {
+        let sharded = ShardedDatabase::partition(&template, spec.clone(), N_SHARDS).unwrap();
+        let guard = fault::install(FaultPlan::new().error_at(site, u64::MAX));
+        let out = TxnScheduler::new(&sharded, Arc::new(PipelinePool::new(1)))
+            .run(std::slice::from_ref(&txn))
+            .unwrap();
+        assert!(out.results[0].is_ok(), "calibration run must pass");
+        site_hits.push((site, guard.hits(site)));
+    }
+
+    for (site, hits) in site_hits {
+        let meta = SITES.iter().find(|s| s.name == site).unwrap();
+        let mut on_hits = vec![1, 2, 3, hits.saturating_sub(1).max(1), hits.max(1)];
+        on_hits.sort_unstable();
+        on_hits.dedup();
+        for action in [FaultAction::Error, FaultAction::Panic] {
+            let supported = match action {
+                FaultAction::Error => meta.supports_error,
+                FaultAction::Panic => meta.supports_panic,
+            };
+            if !supported {
+                continue;
+            }
+            for &on_hit in &on_hits {
+                for width in [1usize, 2, 4, 8] {
+                    cross_shard_cell(
+                        &template,
+                        &spec,
+                        N_SHARDS,
+                        &txn,
+                        &ctrl_report,
+                        &ctrl_contents,
+                        site,
+                        action,
+                        on_hit,
+                        width,
+                    );
+                }
+            }
+        }
+    }
+    // The dispatch-site panic fires before the task body runs: no shard
+    // is ever touched, and the scheduler surfaces a typed TaskPanicked.
+    for width in [1usize, 2, 4, 8] {
+        cross_shard_cell(
+            &template,
+            &spec,
+            N_SHARDS,
+            &txn,
+            &ctrl_report,
+            &ctrl_contents,
+            "ivm::pool_dispatch",
+            FaultAction::Panic,
+            1,
+            width,
+        );
     }
 }
 

@@ -1,0 +1,284 @@
+//! Property tests for sharded concurrent serving: under any random
+//! workload, any shard count, and any scheduler pool width,
+//! [`TxnScheduler::run`] must be **bit-identical** to its serial replay
+//! ([`TxnScheduler::run_serial`]) in every per-transaction report and
+//! every table of every shard — the determinism invariant — and the
+//! shard union of every base and materialized table must equal an
+//! unsharded control database fed the same transactions in admission
+//! order (the shard-locality contract).
+//!
+//! At one shard the scheduler degenerates to the unsharded database and
+//! must reproduce its reports *exactly*, charged I/O included. At more
+//! shards the contents still match but per-shard I/O counts legitimately
+//! differ (smaller tables), so only Ok/Err alignment is asserted.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use spacetime_bench::workload::{load_paper_data, mixed_workload, paper_schema_db};
+use spacetime_ivm::{
+    Database, IvmError, PipelinePool, PropagationMode, ShardedDatabase, Txn, TxnScheduler,
+};
+use spacetime_storage::ShardSpec;
+
+const VIEWS: &[&str] = &[
+    "CREATE MATERIALIZED VIEW ProblemDept (DName) AS \
+     SELECT Dept.DName FROM Emp, Dept WHERE Dept.DName = Emp.DName \
+     GROUP BY Dept.DName, Budget HAVING SUM(Salary) > Budget",
+    "CREATE MATERIALIZED VIEW DeptProfile AS \
+     SELECT DName, COUNT(*) AS Heads, MAX(Salary) AS TopSal \
+     FROM Emp GROUP BY DName",
+    "CREATE MATERIALIZED VIEW WellPaid AS \
+     SELECT EName, Emp.DName, MName FROM Emp, Dept \
+     WHERE Emp.DName = Dept.DName AND Salary > 150",
+    "CREATE MATERIALIZED VIEW ActiveDepts AS SELECT DISTINCT DName FROM Emp",
+];
+
+/// Emp sharded by DName (column 1), Dept by DName (column 0): every view
+/// joins or groups on DName, so partitioned serving is exact.
+fn shard_spec() -> ShardSpec {
+    ShardSpec::new().with("Emp", vec![1]).with("Dept", vec![0])
+}
+
+fn build_db(departments: usize, emps_per_dept: usize) -> Database {
+    let mut db = paper_schema_db();
+    db.set_propagation_mode(PropagationMode::Batched);
+    load_paper_data(&mut db, departments, emps_per_dept);
+    for sql in VIEWS {
+        db.execute_sql(sql).unwrap();
+    }
+    db
+}
+
+/// Every materialized table (roots and auxiliaries) across all engines.
+fn materialized_tables(db: &Database) -> Vec<String> {
+    let mut out: Vec<String> = db
+        .engines()
+        .iter()
+        .flat_map(|e| e.materialized.values().cloned())
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn assert_serving_identical(
+    departments: usize,
+    emps_per_dept: usize,
+    n_txns: usize,
+    seed: u64,
+    n_shards: usize,
+    width: usize,
+) {
+    let template = build_db(departments, emps_per_dept);
+    let txns: Vec<Txn> = mixed_workload(departments, emps_per_dept, n_txns, seed)
+        .into_iter()
+        .map(|(table, delta)| vec![(table, delta)])
+        .collect();
+
+    // The unsharded control: same transactions, admission order.
+    let mut control = template.clone();
+    let ctrl_reports: Vec<_> = txns
+        .iter()
+        .map(|txn| control.apply_transaction(txn.clone()))
+        .collect();
+
+    let sharded = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+    let out = TxnScheduler::new(&sharded, Arc::new(PipelinePool::new(width)))
+        .run(&txns)
+        .unwrap();
+    let replayed = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+    let replay = TxnScheduler::new(&replayed, Arc::new(PipelinePool::new(1)))
+        .run_serial(&txns)
+        .unwrap();
+
+    let ctx = format!("{n_shards} shard(s), width {width}, seed {seed}");
+    // Determinism: slot-by-slot bit-identical reports against the serial
+    // replay, and every table of every shard identical.
+    for (i, (a, b)) in out.results.iter().zip(replay.results.iter()).enumerate() {
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => assert_eq!(ra, rb, "txn {i}: report diverged ({ctx})"),
+            (Err(_), Err(_)) => {}
+            _ => panic!("txn {i}: Ok/Err diverged between concurrent run and replay ({ctx})"),
+        }
+    }
+    for s in 0..n_shards {
+        let a = sharded.shard(s);
+        let b = replayed.shard(s);
+        for (name, table) in a.catalog.iter() {
+            assert_eq!(
+                table.relation.data(),
+                b.catalog.table(name).unwrap().relation.data(),
+                "shard {s} table {name} diverged under serial replay ({ctx})"
+            );
+        }
+    }
+
+    // Against the unsharded control: success alignment always, exact
+    // reports in the one-shard degenerate case.
+    for (i, (r, c)) in out.results.iter().zip(ctrl_reports.iter()).enumerate() {
+        assert_eq!(
+            r.is_ok(),
+            c.is_ok(),
+            "txn {i}: sharded and unsharded disagreed on success ({ctx})"
+        );
+        if n_shards == 1 {
+            if let (Ok(r), Ok(c)) = (r, c) {
+                assert_eq!(r, c, "txn {i}: one-shard report diverged from control ({ctx})");
+            }
+        }
+    }
+    // The shard-locality contract: every base and materialized table's
+    // shard union equals the control's contents.
+    let mut names: Vec<String> = vec!["Emp".into(), "Dept".into()];
+    names.extend(materialized_tables(&control));
+    for name in &names {
+        assert_eq!(
+            &sharded.union_table(name).unwrap(),
+            control.catalog.table(name).unwrap().relation.data(),
+            "shard union of {name} diverged from the unsharded control ({ctx})"
+        );
+    }
+    assert!(
+        sharded.verify_all_shards().unwrap().is_empty(),
+        "a shard diverged from recomputation ({ctx})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 5,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random workloads x shard counts x pool widths: concurrent serving
+    /// is bit-identical to serial replay and exact against the control.
+    #[test]
+    fn sharded_serving_matches_serial_replay_and_control(
+        departments in 3usize..8,
+        emps_per_dept in 2usize..5,
+        n_txns in 8usize..25,
+        seed in any::<u64>(),
+        n_shards in 1usize..5,
+        width_exp in 0u32..4,
+    ) {
+        // Pool widths 1/2/4/8.
+        assert_serving_identical(departments, emps_per_dept, n_txns, seed, n_shards, 1 << width_exp);
+    }
+}
+
+/// Deterministic smoke version (no proptest shrink noise in CI logs)
+/// sweeping every pool width at a fixed seed — the cell CI reruns under
+/// `RAYON_NUM_THREADS=1` for the scheduler-determinism leg.
+#[test]
+fn sharded_serving_identical_at_fixed_seeds_and_widths() {
+    for (n_shards, width) in [(1, 1), (2, 2), (3, 4), (4, 8)] {
+        assert_serving_identical(6, 4, 20, 0xC0FFEE, n_shards, width);
+    }
+}
+
+/// A transaction that violates an integrity assertion must fail in the
+/// same slot under concurrent serving, serial replay, and the unsharded
+/// control — and a *cross-shard* violator must leave every shard
+/// bit-identical to its pre-transaction state (the commit protocol rolls
+/// back the shards that committed before the violating one).
+#[test]
+fn assertion_violations_align_across_serving_modes() {
+    let mut template = build_db(6, 3);
+    template
+        .execute_sql(
+            "CREATE ASSERTION DeptConstraint CHECK (NOT EXISTS ( \
+                SELECT Dept.DName FROM Emp, Dept \
+                WHERE Dept.DName = Emp.DName \
+                GROUP BY Dept.DName, Budget \
+                HAVING SUM(Salary) > Budget))",
+        )
+        .unwrap();
+
+    let raise = |dept: usize, to: i64| {
+        let mut d = spacetime_delta::Delta::new();
+        d.push_modify(
+            spacetime_storage::tuple![
+                format!("emp{dept:05}_0"),
+                format!("dept{dept:05}"),
+                100_i64
+            ],
+            spacetime_storage::tuple![format!("emp{dept:05}_0"), format!("dept{dept:05}"), to],
+            1,
+        );
+        d
+    };
+    // Budgets are emps*200 = 600, per-dept salary sum starts at 300: a
+    // raise to 180 passes (380), a raise to 1000 violates (1200).
+    let benign: Txn = vec![("Emp".to_string(), raise(1, 180))];
+    let violator_one_shard: Txn = vec![("Emp".to_string(), raise(0, 1000))];
+    // Departments 2..6 are untouched by the other transactions, so the
+    // cross-shard violator's `old` tuples are never stale.
+    let violator_cross_shard: Txn = {
+        let mut d = spacetime_delta::Delta::new();
+        for dept in 2..6 {
+            d.merge(raise(dept, 1000));
+        }
+        vec![("Emp".to_string(), d)]
+    };
+    // Undo the benign raise afterwards (180 back to 100).
+    let unraise: Txn = {
+        let mut d = spacetime_delta::Delta::new();
+        d.push_modify(
+            spacetime_storage::tuple!["emp00001_0", "dept00001", 180_i64],
+            spacetime_storage::tuple!["emp00001_0", "dept00001", 100_i64],
+            1,
+        );
+        vec![("Emp".to_string(), d)]
+    };
+    let txns = vec![benign, violator_one_shard, violator_cross_shard, unraise];
+
+    let mut control = template.clone();
+    let ctrl_ok: Vec<bool> = txns
+        .iter()
+        .map(|txn| control.apply_transaction(txn.clone()).is_ok())
+        .collect();
+    assert_eq!(ctrl_ok, vec![true, false, false, true], "fixture mis-built");
+
+    for (n_shards, width) in [(1, 2), (3, 2), (4, 4)] {
+        let sharded = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+        let out = TxnScheduler::new(&sharded, Arc::new(PipelinePool::new(width)))
+            .run(&txns)
+            .unwrap();
+        let replayed = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+        let replay = TxnScheduler::new(&replayed, Arc::new(PipelinePool::new(1)))
+            .run_serial(&txns)
+            .unwrap();
+        for (i, ok) in ctrl_ok.iter().enumerate() {
+            assert_eq!(
+                out.results[i].is_ok(),
+                *ok,
+                "txn {i}: sharded outcome diverged from control ({n_shards} shards)"
+            );
+            assert_eq!(
+                replay.results[i].is_ok(),
+                *ok,
+                "txn {i}: replay outcome diverged from control ({n_shards} shards)"
+            );
+            if !*ok {
+                assert!(
+                    matches!(&out.results[i], Err(IvmError::AssertionViolated { .. })),
+                    "txn {i}: expected AssertionViolated ({n_shards} shards)"
+                );
+            }
+        }
+        // The violators rolled back across the whole footprint: the
+        // final union matches the control (which also rejected them).
+        let mut names: Vec<String> = vec!["Emp".into(), "Dept".into()];
+        names.extend(materialized_tables(&control));
+        for name in &names {
+            assert_eq!(
+                &sharded.union_table(name).unwrap(),
+                control.catalog.table(name).unwrap().relation.data(),
+                "shard union of {name} diverged after violations ({n_shards} shards)"
+            );
+        }
+        assert!(sharded.verify_all_shards().unwrap().is_empty());
+    }
+}

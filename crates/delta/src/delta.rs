@@ -146,6 +146,38 @@ impl Delta {
         self.modifies.extend(other.modifies);
     }
 
+    /// Partition this delta across `n` shard domains by routing every
+    /// tuple through `route`. Modifications whose old and new sides route
+    /// to the same shard stay paired there; a shard-crossing modification
+    /// degrades to a delete in the old shard plus an insert in the new one
+    /// (the same group-migration logic as [`Delta::split_modifies_on`],
+    /// applied to shard domains). The concatenation of the returned deltas
+    /// is therefore equivalent to `self` up to modify pairing. Routing
+    /// errors (e.g. an undeclared shard key) abort the split.
+    pub fn split_by<F>(&self, n: usize, mut route: F) -> StorageResult<Vec<Delta>>
+    where
+        F: FnMut(&Tuple) -> StorageResult<usize>,
+    {
+        let mut parts = vec![Delta::new(); n.max(1)];
+        for (t, c) in self.inserts.iter() {
+            parts[route(t)?].inserts.insert(t.clone(), c);
+        }
+        for (t, c) in self.deletes.iter() {
+            parts[route(t)?].deletes.insert(t.clone(), c);
+        }
+        for m in &self.modifies {
+            let from = route(&m.old)?;
+            let to = route(&m.new)?;
+            if from == to {
+                parts[from].modifies.push(m.clone());
+            } else {
+                parts[from].deletes.insert(m.old.clone(), m.count);
+                parts[to].inserts.insert(m.new.clone(), m.count);
+            }
+        }
+        Ok(parts)
+    }
+
     /// Split modifications whose projection onto `cols` changed into
     /// delete+insert pairs, keeping same-key modifications paired. Used by
     /// the aggregate rule (a salary change stays a modification within its
@@ -321,6 +353,43 @@ mod tests {
         d.deletes.insert(tuple![2], 1);
         d.push_modify(tuple![3], tuple![4], 5);
         assert_eq!(d.size(), 8);
+    }
+
+    #[test]
+    fn split_by_routes_and_degrades_crossings() {
+        let mut d = Delta::insert(tuple!["a", 0], 1);
+        d.deletes.insert(tuple!["b", 1], 2);
+        // Same-shard modify stays paired; cross-shard one degrades.
+        d.push_modify(tuple!["c", 1, 10], tuple!["c", 1, 20], 1);
+        d.push_modify(tuple!["m", 0, 5], tuple!["m", 1, 5], 3);
+        let route = |t: &Tuple| -> spacetime_storage::StorageResult<usize> {
+            Ok(match t.get(1).unwrap() {
+                Value::Int(i) => (*i as usize) % 2,
+                _ => 0,
+            })
+        };
+        let parts = d.split_by(2, route).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].inserts.count(&tuple!["a", 0]), 1);
+        assert_eq!(parts[1].deletes.count(&tuple!["b", 1]), 2);
+        assert_eq!(parts[1].modifies.len(), 1);
+        assert_eq!(parts[0].deletes.count(&tuple!["m", 0, 5]), 3);
+        assert_eq!(parts[1].inserts.count(&tuple!["m", 1, 5]), 3);
+        // The concatenation preserves net effect.
+        let mut merged = Delta::new();
+        for p in parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.net(), d.net());
+    }
+
+    #[test]
+    fn split_by_propagates_route_errors() {
+        let d = Delta::insert(tuple!["a"], 1);
+        let res = d.split_by(2, |_| {
+            Err(spacetime_storage::StorageError::Internal("boom".into()))
+        });
+        assert!(res.is_err());
     }
 
     #[test]

@@ -213,9 +213,40 @@ impl Database {
         self.exec = exec;
     }
 
-    /// The active execution mode.
+    /// The active execution mode, as declared.
     pub fn execution_mode(&self) -> ExecutionMode {
         self.exec
+    }
+
+    /// The execution mode transactions actually run under. On a 1-CPU
+    /// host, a declared [`ExecutionMode::Parallel`] with no explicit
+    /// override (no session pool from [`Database::set_pipeline_pool`], no
+    /// `RAYON_NUM_THREADS`) auto-degrades to the inline width-1 sequential
+    /// fast path: the pool cannot win wall clock without a second core, it
+    /// only adds dispatch overhead, and both modes are proven
+    /// bit-identical. An explicit override is honored verbatim — pinned
+    /// determinism tests and scaling sweeps measure exactly the width they
+    /// asked for.
+    pub fn effective_execution_mode(&self) -> ExecutionMode {
+        match self.exec {
+            ExecutionMode::Parallel
+                if self.pool.is_none()
+                    && crate::pipeline::env_width_override().is_none()
+                    && crate::pipeline::host_cpus() == 1 =>
+            {
+                ExecutionMode::Sequential
+            }
+            e => e,
+        }
+    }
+
+    /// The worker width transactions effectively run at: 1 under
+    /// (effective) sequential execution, else the pool's thread count.
+    pub fn effective_width(&self) -> usize {
+        match self.effective_execution_mode() {
+            ExecutionMode::Sequential => 1,
+            ExecutionMode::Parallel => self.pool().threads(),
+        }
     }
 
     /// Use a specific worker pool (e.g. a pinned-width pool for scaling
@@ -526,8 +557,9 @@ impl Database {
         let update_watch = obs::stopwatch();
         let timed = self.tracing || self.collect_phases;
         let t_plan = timed.then(std::time::Instant::now);
+        let exec = self.effective_execution_mode();
         // Phase 1: plan against pre-update state.
-        let mut planned = match self.exec {
+        let mut planned = match exec {
             ExecutionMode::Sequential => {
                 let opts = PlanOptions {
                     trace: self.tracing,
@@ -572,7 +604,7 @@ impl Database {
         let commit_watch = obs::stopwatch();
         let t_commit = timed.then(std::time::Instant::now);
         let mut combined = UpdateReport::default();
-        match self.exec {
+        match exec {
             ExecutionMode::Sequential => {
                 self.commit_sequential(table, &delta, &planned, &mut combined)?
             }

@@ -20,6 +20,14 @@
 //!   per-transaction cross-engine shared-delta cache. Parallelism is
 //!   wall-clock only: reports, deltas, and view contents stay
 //!   bit-identical to sequential execution.
+//! * [`shard`] — sharded serving: [`shard::ShardedDatabase`] partitions a
+//!   database into N shard domains by declared shard keys, each shard a
+//!   full database with its own engines and per-shard materializations.
+//! * [`sched`] — the footprint-based transaction scheduler
+//!   ([`sched::TxnScheduler`]): disjoint-footprint transactions run
+//!   concurrently, conflicting and cross-shard ones serialize through a
+//!   cross-shard all-or-nothing commit protocol; serial replay in
+//!   admission order is bit-identical.
 //! * [`trace`] — propagation-trace recording: the opt-in, always-compiled
 //!   `EXPLAIN ANALYZE` plane ([`Database::set_tracing`] /
 //!   [`Database::last_trace`]), structurally deterministic across
@@ -32,6 +40,8 @@ pub mod database;
 pub mod engine;
 pub mod pipeline;
 pub mod qexec;
+pub mod sched;
+pub mod shard;
 pub mod trace;
 pub mod verify;
 
@@ -39,6 +49,8 @@ pub use constraints::{Assertion, Violation};
 pub use database::{Database, PhaseTotals, ViewSelection};
 pub use engine::{IvmEngine, PropagationMode, UpdateReport};
 pub use pipeline::{ExecutionMode, PipelinePool, SharedDeltaCache};
+pub use sched::{SchedOutcome, SchedStats, Txn, TxnScheduler};
+pub use shard::ShardedDatabase;
 pub use trace::TraceNode;
 pub use verify::verify_all_views;
 

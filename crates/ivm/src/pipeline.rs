@@ -54,16 +54,27 @@ pub enum ExecutionMode {
 /// conventional knob, honored even though the pool is hand-rolled) if set
 /// and positive, else the machine's available parallelism.
 pub fn default_thread_count() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    env_width_override().unwrap_or_else(host_cpus)
+}
+
+/// The explicit width override from the environment
+/// (`RAYON_NUM_THREADS`, if set and positive). An explicit override
+/// disables [`crate::Database`]'s single-CPU parallel auto-degrade: the
+/// operator asked for that width and gets it.
+pub fn env_width_override() -> Option<usize> {
+    let v = std::env::var("RAYON_NUM_THREADS").ok()?;
+    let n = v.trim().parse::<usize>().ok()?;
+    (n >= 1).then_some(n)
+}
+
+/// The machine's available parallelism, resolved once per process.
+pub fn host_cpus() -> usize {
+    static CPUS: OnceLock<usize> = OnceLock::new();
+    *CPUS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 type Job = Box<dyn FnOnce() + Send>;

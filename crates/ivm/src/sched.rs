@@ -1,0 +1,366 @@
+//! The footprint-based transaction scheduler over a [`ShardedDatabase`].
+//!
+//! Each transaction (a list of per-table deltas) is routed to its **shard
+//! footprint** — the set of shard domains its delta keys touch. The
+//! scheduler admits transactions in waves: scanning the queue in admission
+//! order, a transaction is admitted if its footprint is disjoint from
+//! everything already admitted this wave *and* from every deferred
+//! transaction's footprint (so per-shard order is preserved); otherwise it
+//! waits for a later wave. Admitted transactions run concurrently on a
+//! [`PipelinePool`]; a wave is a barrier.
+//!
+//! **Cross-shard commit protocol.** A transaction whose footprint spans
+//! several shards commits them one at a time in ascending shard order,
+//! each through the shard's own all-or-nothing transaction commit. Before
+//! each shard commits, its catalog is backed up (an `Arc` refcount bump —
+//! the PR 4 immediate-mode mechanism generalized across shards); if any
+//! later shard fails — a typed error, an injected fault, or a contained
+//! panic — every already-committed shard is restored from its backup, in
+//! reverse order, before the error surfaces. Restoration is a pointer
+//! swap and cannot itself fail, so the transaction is all-or-nothing
+//! across its whole footprint.
+//!
+//! **Determinism invariant.** [`TxnScheduler::run`] is bit-identical to
+//! [`TxnScheduler::run_serial`] (one transaction at a time, admission
+//! order) in every table of every shard and every per-transaction
+//! [`UpdateReport`]:
+//!
+//! 1. transactions sharing a shard execute in admission order (an
+//!    admitted transaction blocks the shard for the rest of the wave; a
+//!    deferred transaction blocks it for every *later* queue position,
+//!    and deferral preserves queue order across waves);
+//! 2. transactions in one wave have pairwise-disjoint footprints, so they
+//!    read and write disjoint shard sets — they commute;
+//! 3. a transaction's report and effects depend only on the pre-state of
+//!    the shards in its footprint.
+//!
+//! Property tests sweep this at pool widths 1/2/4/8 the same way
+//! `prop_pipeline.rs` proves Sequential ≡ Parallel.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use spacetime_delta::Delta;
+use spacetime_obs::{self as obs, names as metric};
+
+use crate::database::Database;
+use crate::engine::UpdateReport;
+use crate::pipeline::{panic_message, PipelinePool};
+use crate::shard::ShardedDatabase;
+use crate::{IvmError, IvmResult};
+
+/// One transaction: per-table deltas applied atomically, in order.
+pub type Txn = Vec<(String, Delta)>;
+
+/// Counters describing one scheduler run. Mirrors the `spacetime_sched_*`
+/// metrics exactly, so benchmarks can assert the books balance.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Transactions accepted (including empty and mis-routed ones).
+    pub txns: u64,
+    /// Transactions that ran in a wave of two or more (i.e. concurrently
+    /// with at least one disjoint-footprint transaction).
+    pub admitted_concurrent: u64,
+    /// Deferrals: one per wave a transaction sat out behind a conflicting
+    /// footprint.
+    pub conflict_deferrals: u64,
+    /// Transactions whose footprint spanned more than one shard.
+    pub cross_shard_txns: u64,
+    /// Admission waves dispatched.
+    pub waves: u64,
+    /// The largest single wave (transactions dispatched together).
+    pub max_wave_width: u64,
+}
+
+impl SchedStats {
+    /// Fold another run's counters into these (benchmarks accumulate
+    /// across shard-count sweeps to balance against the metrics plane).
+    pub fn absorb(&mut self, other: &SchedStats) {
+        self.txns += other.txns;
+        self.admitted_concurrent += other.admitted_concurrent;
+        self.conflict_deferrals += other.conflict_deferrals;
+        self.cross_shard_txns += other.cross_shard_txns;
+        self.waves += other.waves;
+        self.max_wave_width = self.max_wave_width.max(other.max_wave_width);
+    }
+}
+
+/// The outcome of a scheduler run, slot-aligned with the admitted
+/// transaction list.
+#[derive(Debug)]
+pub struct SchedOutcome {
+    /// Per-transaction results in admission order: the merged maintenance
+    /// report, or the error that rolled the transaction back.
+    pub results: Vec<IvmResult<UpdateReport>>,
+    /// Per-transaction latency (dispatch → commit, pool queueing
+    /// included), admission order. Zero for transactions never dispatched
+    /// (empty footprint or routing failure).
+    pub latencies_ns: Vec<u64>,
+    /// Scheduler counters for this run.
+    pub stats: SchedStats,
+}
+
+/// A scheduler bound to a sharded database and a worker pool.
+pub struct TxnScheduler<'a> {
+    db: &'a ShardedDatabase,
+    pool: Arc<PipelinePool>,
+}
+
+/// A transaction's routed form: per-shard sub-transactions in ascending
+/// shard order (the footprint is the shard ids).
+type ShardParts = Vec<(usize, Txn)>;
+
+impl<'a> TxnScheduler<'a> {
+    /// A scheduler dispatching onto `pool`. Pool width caps how many
+    /// disjoint transactions actually run at once; admission logic is
+    /// width-independent.
+    pub fn new(db: &'a ShardedDatabase, pool: Arc<PipelinePool>) -> Self {
+        TxnScheduler { db, pool }
+    }
+
+    /// The sharded database this scheduler serves.
+    pub fn db(&self) -> &ShardedDatabase {
+        self.db
+    }
+
+    /// Route one transaction to its per-shard sub-transactions.
+    fn route(&self, txn: &Txn) -> IvmResult<ShardParts> {
+        let mut per: Vec<Txn> = (0..self.db.n_shards()).map(|_| Txn::new()).collect();
+        for (table, delta) in txn {
+            for (s, d) in self.db.route_delta(table, delta)? {
+                per[s].push((table.clone(), d));
+            }
+        }
+        Ok(per
+            .into_iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .collect())
+    }
+
+    /// Admit and run every transaction, concurrently where footprints
+    /// allow. Per-transaction failures (assertion violations, injected
+    /// faults, contained panics) land in the corresponding result slot —
+    /// the transaction rolled back, the shards are consistent, and the
+    /// run continues. `Err` from `run` itself means scheduler
+    /// infrastructure failed (e.g. the pool's channel died).
+    pub fn run(&self, txns: &[Txn]) -> IvmResult<SchedOutcome> {
+        self.run_inner(txns, true)
+    }
+
+    /// The determinism oracle: the same transactions, one at a time, in
+    /// admission order, on the calling thread. Bit-identical results and
+    /// shard state to [`TxnScheduler::run`]; `stats` and latencies
+    /// describe the serial execution instead (no waves, no concurrency),
+    /// and no scheduler metrics are recorded — a replay check must not
+    /// double-count the books.
+    pub fn run_serial(&self, txns: &[Txn]) -> IvmResult<SchedOutcome> {
+        self.run_inner(txns, false)
+    }
+
+    fn run_inner(&self, txns: &[Txn], concurrent: bool) -> IvmResult<SchedOutcome> {
+        let n = txns.len();
+        let mut stats = SchedStats {
+            txns: n as u64,
+            ..SchedStats::default()
+        };
+        if concurrent {
+            obs::counter_add(metric::SCHED_TXNS, n as u64);
+        }
+        let mut results: Vec<Option<IvmResult<UpdateReport>>> = (0..n).map(|_| None).collect();
+        let mut latencies: Vec<u64> = vec![0; n];
+        // Route everything up front; the footprint drives admission.
+        let mut parts: Vec<Option<ShardParts>> = Vec::with_capacity(n);
+        let mut pending: Vec<usize> = Vec::with_capacity(n);
+        for (i, txn) in txns.iter().enumerate() {
+            match self.route(txn) {
+                Ok(p) if p.is_empty() => {
+                    // Nothing to do; completes immediately.
+                    results[i] = Some(Ok(UpdateReport::default()));
+                    parts.push(None);
+                }
+                Ok(p) => {
+                    if p.len() > 1 {
+                        stats.cross_shard_txns += 1;
+                        if concurrent {
+                            obs::counter_add(metric::SCHED_CROSS_SHARD_TXNS, 1);
+                        }
+                    }
+                    if concurrent {
+                        obs::gauge_add(metric::SCHED_QUEUE_DEPTH, 1.0);
+                        for (s, _) in &p {
+                            obs::gauge_add(metric::sched_shard_queue_depth(*s), 1.0);
+                        }
+                    }
+                    pending.push(i);
+                    parts.push(Some(p));
+                }
+                Err(e) => {
+                    results[i] = Some(Err(e));
+                    parts.push(None);
+                }
+            }
+        }
+        while !pending.is_empty() {
+            let mut busy: BTreeSet<usize> = BTreeSet::new();
+            let mut blocked: BTreeSet<usize> = BTreeSet::new();
+            let mut batch: Vec<usize> = Vec::new();
+            let mut rest: Vec<usize> = Vec::new();
+            for &i in &pending {
+                let fp = parts[i].as_ref().expect("pending txns are routed");
+                let free = fp
+                    .iter()
+                    .all(|(s, _)| !busy.contains(s) && !blocked.contains(s));
+                if free && (concurrent || batch.is_empty()) {
+                    busy.extend(fp.iter().map(|(s, _)| *s));
+                    batch.push(i);
+                } else {
+                    if free {
+                        // Serial replay: everything after the first
+                        // transaction waits, with no conflict implied.
+                        rest.push(i);
+                        continue;
+                    }
+                    blocked.extend(fp.iter().map(|(s, _)| *s));
+                    stats.conflict_deferrals += 1;
+                    if concurrent {
+                        obs::counter_add(metric::SCHED_CONFLICT_SERIALIZED, 1);
+                    }
+                    rest.push(i);
+                }
+            }
+            stats.waves += 1;
+            stats.max_wave_width = stats.max_wave_width.max(batch.len() as u64);
+            if concurrent {
+                obs::counter_add(metric::SCHED_WAVES, 1);
+                if batch.len() > 1 {
+                    obs::counter_add(metric::SCHED_ADMITTED_CONCURRENT, batch.len() as u64);
+                    stats.admitted_concurrent += batch.len() as u64;
+                }
+            }
+            let t_wave = Instant::now();
+            let cells = self.db.cells();
+            type TaskOut = (IvmResult<UpdateReport>, u64);
+            let tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send>> = batch
+                .iter()
+                .map(|&i| {
+                    let cells: Vec<Arc<Mutex<Database>>> = cells.to_vec();
+                    let p = parts[i].take().expect("batched txns are routed");
+                    let t0 = Instant::now();
+                    Box::new(move || {
+                        let r = apply_parts(&cells, &p);
+                        (r, t0.elapsed().as_nanos() as u64)
+                    }) as Box<dyn FnOnce() -> TaskOut + Send>
+                })
+                .collect();
+            let outcomes = if concurrent {
+                self.pool.run_outcomes(tasks)?
+            } else {
+                // Inline, but still panic-contained like the pool's path.
+                tasks
+                    .into_iter()
+                    .map(|t| catch_unwind(AssertUnwindSafe(t)).map_err(|p| panic_message(p.as_ref())))
+                    .collect()
+            };
+            for (k, outcome) in outcomes.into_iter().enumerate() {
+                let i = batch[k];
+                match outcome {
+                    Ok((r, ns)) => {
+                        results[i] = Some(r);
+                        latencies[i] = ns;
+                    }
+                    Err(message) => {
+                        // The dispatch itself panicked (e.g. the
+                        // `ivm::pool_dispatch` failpoint) before the task
+                        // body ran; the shards were never touched.
+                        results[i] = Some(Err(IvmError::TaskPanicked { message }));
+                        latencies[i] = t_wave.elapsed().as_nanos() as u64;
+                    }
+                }
+                if concurrent {
+                    obs::gauge_add(metric::SCHED_QUEUE_DEPTH, -1.0);
+                    for s in txn_footprint(txns, self.db, i) {
+                        obs::gauge_add(metric::sched_shard_queue_depth(s), -1.0);
+                    }
+                }
+            }
+            pending = rest;
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.ok_or_else(|| IvmError::Internal("a transaction was never run".into())))
+            .collect::<IvmResult<Vec<_>>>()?;
+        Ok(SchedOutcome {
+            results,
+            latencies_ns: latencies,
+            stats,
+        })
+    }
+}
+
+/// Re-derive a dispatched transaction's footprint for gauge drain (its
+/// routed parts were consumed by the task closure). Routing is
+/// deterministic, so this matches what was incremented; a routing error
+/// here is impossible for a transaction that routed cleanly before.
+fn txn_footprint(txns: &[Txn], db: &ShardedDatabase, i: usize) -> Vec<usize> {
+    let mut fp: BTreeSet<usize> = BTreeSet::new();
+    for (table, delta) in &txns[i] {
+        if let Ok(parts) = db.route_delta(table, delta) {
+            fp.extend(parts.into_iter().map(|(s, _)| s));
+        }
+    }
+    fp.into_iter().collect()
+}
+
+/// Apply one transaction's per-shard sub-transactions: the cross-shard
+/// commit protocol (module docs). Single-shard transactions take the same
+/// path with a one-element footprint — backup, commit, done.
+fn apply_parts(cells: &[Arc<Mutex<Database>>], parts: &ShardParts) -> IvmResult<UpdateReport> {
+    let mut committed: Vec<(usize, spacetime_storage::Catalog, Option<UpdateReport>)> = Vec::new();
+    let mut combined = UpdateReport::default();
+    let mut failure: Option<IvmError> = None;
+    for (shard, updates) in parts {
+        let mut db = cells[*shard].lock().unwrap_or_else(|e| e.into_inner());
+        let backup = db.catalog.clone();
+        let prior_report = db.last_report.clone();
+        let out = catch_unwind(AssertUnwindSafe(|| db.apply_transaction(updates.clone())));
+        match out {
+            Ok(Ok(r)) => {
+                combined.merge(&r);
+                committed.push((*shard, backup, prior_report));
+            }
+            Ok(Err(e)) => {
+                // The shard's own transaction commit already rolled back.
+                failure = Some(e);
+                break;
+            }
+            Err(p) => {
+                // A panic that unwound `apply_transaction` bypassed its
+                // error-path rollback; the backup restores this shard.
+                db.catalog = backup;
+                db.last_report = prior_report;
+                failure = Some(IvmError::TaskPanicked {
+                    message: panic_message(p.as_ref()),
+                });
+                break;
+            }
+        }
+    }
+    match failure {
+        None => Ok(combined),
+        Some(e) => {
+            // Undo every shard that already committed, newest first. A
+            // restore is a pointer swap of `Arc`-backed catalogs: it fires
+            // no failpoints and cannot fail, so a fault mid-protocol
+            // always converges to the pre-transaction state.
+            for (shard, backup, prior_report) in committed.into_iter().rev() {
+                let mut db = cells[shard].lock().unwrap_or_else(|e| e.into_inner());
+                db.catalog = backup;
+                db.last_report = prior_report;
+            }
+            Err(e)
+        }
+    }
+}

@@ -61,5 +61,55 @@ pub const OPT_TRACKS_TRUNCATED: &str = "spacetime_opt_tracks_truncated_total";
 /// Weighted cost of the current best (incumbent) view set, updated live.
 pub const OPT_INCUMBENT_COST: &str = "spacetime_opt_incumbent_cost";
 
+/// Transactions accepted by the shard-footprint scheduler.
+pub const SCHED_TXNS: &str = "spacetime_sched_txns_total";
+/// Transactions admitted concurrently with at least one other in-flight
+/// transaction (disjoint shard footprints).
+pub const SCHED_ADMITTED_CONCURRENT: &str = "spacetime_sched_admitted_concurrent_total";
+/// Admission-queue scans that deferred a transaction behind a conflicting
+/// footprint (one count per wave a transaction sat out).
+pub const SCHED_CONFLICT_SERIALIZED: &str = "spacetime_sched_conflict_serialized_total";
+/// Transactions whose footprint spanned more than one shard (committed
+/// through the cross-shard protocol).
+pub const SCHED_CROSS_SHARD_TXNS: &str = "spacetime_sched_cross_shard_txns_total";
+/// Admission waves the scheduler ran (each wave dispatches one batch of
+/// mutually disjoint transactions).
+pub const SCHED_WAVES: &str = "spacetime_sched_waves_total";
+/// Transactions currently queued for admission across all shards.
+pub const SCHED_QUEUE_DEPTH: &str = "spacetime_sched_queue_depth";
+
+/// Per-shard admission-queue depth gauges for the first
+/// [`SCHED_SHARD_GAUGES`](sched_shard_queue_depth) shard domains; higher
+/// shard ids share [`SCHED_SHARD_QUEUE_DEPTH_OVERFLOW`]. Static because the
+/// metrics registry only accepts `&'static str` names.
+const SCHED_SHARD_QUEUE_DEPTHS: [&str; 16] = [
+    "spacetime_sched_shard_queue_depth_s0",
+    "spacetime_sched_shard_queue_depth_s1",
+    "spacetime_sched_shard_queue_depth_s2",
+    "spacetime_sched_shard_queue_depth_s3",
+    "spacetime_sched_shard_queue_depth_s4",
+    "spacetime_sched_shard_queue_depth_s5",
+    "spacetime_sched_shard_queue_depth_s6",
+    "spacetime_sched_shard_queue_depth_s7",
+    "spacetime_sched_shard_queue_depth_s8",
+    "spacetime_sched_shard_queue_depth_s9",
+    "spacetime_sched_shard_queue_depth_s10",
+    "spacetime_sched_shard_queue_depth_s11",
+    "spacetime_sched_shard_queue_depth_s12",
+    "spacetime_sched_shard_queue_depth_s13",
+    "spacetime_sched_shard_queue_depth_s14",
+    "spacetime_sched_shard_queue_depth_s15",
+];
+/// Shared queue-depth gauge for shard ids ≥ 16.
+pub const SCHED_SHARD_QUEUE_DEPTH_OVERFLOW: &str = "spacetime_sched_shard_queue_depth_overflow";
+
+/// The queue-depth gauge name for a shard id.
+pub fn sched_shard_queue_depth(shard: usize) -> &'static str {
+    SCHED_SHARD_QUEUE_DEPTHS
+        .get(shard)
+        .copied()
+        .unwrap_or(SCHED_SHARD_QUEUE_DEPTH_OVERFLOW)
+}
+
 /// Failpoints fired (only moves in `failpoints` builds).
 pub const FAILPOINTS_FIRED: &str = "spacetime_failpoints_fired_total";

@@ -29,6 +29,8 @@
 //!   estimation.
 //! * [`catalog`] — the database catalog ([`Catalog`], [`Table`]): schemas,
 //!   data, statistics, keys and indices by table name.
+//! * [`shard`] — declared shard keys ([`ShardSpec`]) and the fixed-seed
+//!   router mapping tuples to shard domains.
 //! * [`error`] — the crate-wide error type ([`StorageError`]).
 //! * [`fault`] — deterministic fault injection (failpoints), compiled to
 //!   no-ops unless the `failpoints` feature is enabled.
@@ -43,6 +45,7 @@ pub mod index;
 pub mod io;
 pub mod relation;
 pub mod schema;
+pub mod shard;
 pub mod smallstr;
 pub mod stats;
 pub mod tuple;
@@ -57,6 +60,7 @@ pub use io::{IoMeter, IoSnapshot};
 pub use fx::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use relation::Relation;
 pub use schema::{Column, Schema};
+pub use shard::ShardSpec;
 pub use smallstr::{Interner, SmallStr};
 pub use stats::TableStats;
 pub use tuple::Tuple;

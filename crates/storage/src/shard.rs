@@ -1,0 +1,161 @@
+//! Declared shard keys and the fixed-seed shard router.
+//!
+//! A [`ShardSpec`] declares, per base relation, which column positions
+//! form the *shard key* (e.g. `Emp` hash-sharded by `DName`, `Dept` by its
+//! `DName` primary key). Routing hashes the projected key columns with the
+//! same fixed-seed [`crate::fx::FxHasher`] that places tuples into
+//! [`crate::bag::Bag`] shards, so a tuple routes to the same shard domain
+//! in every process, every run — the property the sharded serving layer's
+//! determinism invariant (serial replay in admission order reproduces
+//! bit-identical state) is built on.
+//!
+//! The spec is purely *declarative*: it neither partitions data nor checks
+//! schemas. Validation against a concrete catalog (key columns in range,
+//! every base relation covered) is the partitioning caller's job, because
+//! only that caller knows which catalog the spec is meant for.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{StorageError, StorageResult};
+use crate::fx::FxHasher;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Declared shard keys: base relation name → key column positions.
+///
+/// Relations sharing shard-key *values* (here: `Emp.DName` and
+/// `Dept.DName`) co-locate — equal key values hash identically regardless
+/// of which relation they come from — which is what makes views that join
+/// or group on the shard key maintainable entirely shard-locally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSpec {
+    keys: BTreeMap<String, Vec<usize>>,
+}
+
+impl ShardSpec {
+    /// An empty spec.
+    pub fn new() -> Self {
+        ShardSpec::default()
+    }
+
+    /// Declare (or replace) a relation's shard-key columns. Builder-style.
+    pub fn with(mut self, table: impl Into<String>, key_cols: Vec<usize>) -> Self {
+        self.declare(table, key_cols);
+        self
+    }
+
+    /// Declare (or replace) a relation's shard-key columns.
+    pub fn declare(&mut self, table: impl Into<String>, key_cols: Vec<usize>) {
+        self.keys.insert(table.into(), key_cols);
+    }
+
+    /// The declared key columns for a relation, if any.
+    pub fn key_cols(&self, table: &str) -> Option<&[usize]> {
+        self.keys.get(table).map(Vec::as_slice)
+    }
+
+    /// Every declared relation, in name order.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &[usize])> {
+        self.keys.iter().map(|(t, c)| (t.as_str(), c.as_slice()))
+    }
+
+    /// Whether any key is declared.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Route a tuple of `table` to one of `n_shards` domains: fixed-seed
+    /// hash of the projected key columns, reduced modulo the shard count.
+    /// Errors if the table has no declared key or a key column is out of
+    /// range for this tuple.
+    pub fn route(&self, table: &str, tuple: &Tuple, n_shards: usize) -> StorageResult<usize> {
+        let cols = self.keys.get(table).ok_or_else(|| {
+            StorageError::BadIndexColumns(format!("no shard key declared for `{table}`"))
+        })?;
+        let values = tuple.values();
+        let mut h = FxHasher::default();
+        for &c in cols {
+            let v: &Value = values.get(c).ok_or_else(|| {
+                StorageError::BadIndexColumns(format!(
+                    "shard-key column {c} out of range for a `{table}` tuple of arity {}",
+                    values.len()
+                ))
+            })?;
+            v.hash(&mut h);
+        }
+        Ok(reduce(h.finish(), n_shards))
+    }
+}
+
+/// Reduce a routing hash onto `n_shards` domains. A single shard swallows
+/// everything (the unsharded degenerate case); zero shards is a caller bug.
+#[inline]
+fn reduce(hash: u64, n_shards: usize) -> usize {
+    debug_assert!(n_shards > 0, "shard count must be positive");
+    if n_shards <= 1 {
+        0
+    } else {
+        (hash % n_shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn spec() -> ShardSpec {
+        ShardSpec::new()
+            .with("Emp", vec![1])
+            .with("Dept", vec![0])
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_colocates_key_values() {
+        let s = spec();
+        let emp: Tuple = tuple!["alice", "dept00042", 100];
+        let dept: Tuple = tuple!["dept00042", "mgr42", 2000];
+        for n in [1usize, 2, 4, 8, 64] {
+            let a = s.route("Emp", &emp, n).unwrap();
+            let b = s.route("Emp", &emp, n).unwrap();
+            assert_eq!(a, b, "same tuple, same shard at {n}");
+            assert!(a < n);
+            // Equal key values co-locate across relations.
+            assert_eq!(a, s.route("Dept", &dept, n).unwrap());
+        }
+        // One shard swallows everything.
+        assert_eq!(s.route("Emp", &emp, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn routing_spreads_distinct_keys() {
+        let s = spec();
+        let mut seen = std::collections::BTreeSet::new();
+        for d in 0..64 {
+            let t: Tuple = tuple![format!("e{d}"), format!("dept{d:05}"), 100];
+            seen.insert(s.route("Emp", &t, 8).unwrap());
+        }
+        assert!(seen.len() >= 4, "64 keys over 8 shards must spread: {seen:?}");
+    }
+
+    #[test]
+    fn undeclared_table_and_bad_column_error() {
+        let s = spec();
+        let t: Tuple = tuple!["x", "y", 1];
+        assert!(s.route("Nope", &t, 4).is_err());
+        let bad = ShardSpec::new().with("Emp", vec![9]);
+        assert!(bad.route("Emp", &t, 4).is_err());
+    }
+
+    #[test]
+    fn declare_replaces_and_lists() {
+        let mut s = spec();
+        s.declare("Emp", vec![0]);
+        assert_eq!(s.key_cols("Emp"), Some(&[0usize][..]));
+        let names: Vec<&str> = s.tables().map(|(t, _)| t).collect();
+        assert_eq!(names, vec!["Dept", "Emp"]);
+        assert!(!s.is_empty());
+        assert!(ShardSpec::new().is_empty());
+    }
+}
