@@ -26,6 +26,20 @@ hardware-independent determinism flags (``replay_identical`` per point,
 ``union_matches_unsharded``) must all be true. Baselines predating the
 serve benchmark are skipped rather than forcing a flag-day refresh.
 
+The ``wal`` section (present when the bench was built with the
+``durability`` feature, the bench crate's default) is checked against an
+*intra-run* floor rather than the committed baseline: WAL-on throughput
+must stay within 25% of the same run's in-memory pass
+(``throughput_ratio >= 0.75``), recovery must have been bit-identical,
+and checkpointed recovery must never replay more than full-log recovery.
+Being a same-host same-run ratio, this floor is immune to the hardware
+drift the loose cross-baseline tolerance exists for.
+
+On failure the ratchet additionally prints a per-scenario delta table —
+every scenario x mode (and serve point) side by side with the baseline
+and the percentage change — so the offending regression is readable at a
+glance without re-running anything.
+
 Usage: throughput_ratchet.py <fresh.json> <baseline.json> [min_ratio] [--alloc-check]
 """
 
@@ -34,6 +48,8 @@ import sys
 
 MODES = ("per_key", "batched", "parallel", "fused")
 SERVE_SHARD_FLOORS = (1, 4)
+# WAL-on serve throughput must stay within 25% of the in-memory pass.
+WAL_RATIO_FLOOR = 0.75
 
 
 def load(path):
@@ -146,6 +162,76 @@ def serve_ratchet(fresh_doc, base_doc, min_ratio):
     return failures
 
 
+def wal_ratchet(fresh_doc):
+    wal = fresh_doc.get("wal")
+    if not fresh_doc.get("durability_compiled", False) or wal is None:
+        print("wal: durability not compiled into this run; skipping")
+        return []
+    failures = []
+    ratio = wal["throughput_ratio"]
+    status = "ok" if ratio >= WAL_RATIO_FLOOR else "REGRESSED"
+    print(
+        f"{'wal':10} {'on/off':9} {wal['wal_on_txns_per_sec']:>10.1f} txn/s  "
+        f"in-memory {wal['wal_off_txns_per_sec']:>10.1f}"
+        f"  ratio {ratio:5.2f}  (floor {WAL_RATIO_FLOOR})  {status}"
+    )
+    if ratio < WAL_RATIO_FLOOR:
+        failures.append(
+            f"wal: durable throughput ratio {ratio:.3f} is below the "
+            f"{WAL_RATIO_FLOOR} floor (WAL tax exceeds 25%)"
+        )
+    if not wal.get("recovered_identical", False):
+        failures.append("wal: recovery was not bit-identical to the in-memory run")
+    # Checkpoints exist to shrink the replayed tail: any checkpointed
+    # recovery replaying more than full-log recovery is a policy bug.
+    points = wal.get("recovery", [])
+    full = next((p for p in points if p["checkpoint_every_txns"] == 0), None)
+    for p in points:
+        if (
+            full is not None
+            and p["checkpoint_every_txns"]
+            and p["replayed_txns"] > full["replayed_txns"]
+        ):
+            failures.append(
+                f"wal: checkpoint every {p['checkpoint_every_txns']} txns "
+                f"replayed {p['replayed_txns']} txns, more than the "
+                f"uncheckpointed {full['replayed_txns']}"
+            )
+    return failures
+
+
+def delta_table(fresh, base, fresh_doc, base_doc):
+    """Every scenario x mode (and serve point) against the baseline, with
+    the percentage change — printed when the ratchet fails so the
+    regression is readable without re-running."""
+    rows = []
+    for name in sorted(set(base) | set(fresh)):
+        for mode in MODES:
+            got = fresh.get(name, {}).get(mode, {}).get("txns_per_sec")
+            want = base.get(name, {}).get(mode, {}).get("txns_per_sec")
+            rows.append((f"{name}/{mode}", got, want))
+    base_pts = {p["shards"]: p for p in base_doc.get("serve", {}).get("points", [])}
+    fresh_pts = {p["shards"]: p for p in fresh_doc.get("serve", {}).get("points", [])}
+    for shards in sorted(set(base_pts) | set(fresh_pts)):
+        rows.append(
+            (
+                f"serve/{shards}shard",
+                fresh_pts.get(shards, {}).get("txns_per_sec"),
+                base_pts.get(shards, {}).get("txns_per_sec"),
+            )
+        )
+    print("\nper-scenario delta table (fresh vs baseline):")
+    print(f"  {'scenario':22} {'fresh':>12} {'baseline':>12} {'delta':>8}")
+    for label, got, want in rows:
+        if got is None or want is None:
+            present = "missing in fresh" if got is None else "missing in baseline"
+            print(f"  {label:22} {'-' if got is None else f'{got:.1f}':>12} "
+                  f"{'-' if want is None else f'{want:.1f}':>12} {present:>8}")
+            continue
+        pct = (got - want) / want * 100 if want else float("inf")
+        print(f"  {label:22} {got:>12.1f} {want:>12.1f} {pct:>+7.1f}%")
+
+
 def main():
     args = [a for a in sys.argv[1:] if a != "--alloc-check"]
     alloc_check = "--alloc-check" in sys.argv[1:]
@@ -161,10 +247,12 @@ def main():
 
     failures = throughput_ratchet(fresh, base, min_ratio)
     failures += serve_ratchet(fresh_doc, base_doc, min_ratio)
+    failures += wal_ratchet(fresh_doc)
     if alloc_check:
         failures += alloc_ratchet(fresh, base)
 
     if failures:
+        delta_table(fresh, base, fresh_doc, base_doc)
         sys.exit("throughput ratchet failed:\n  " + "\n  ".join(failures))
     print("throughput ratchet passed")
 

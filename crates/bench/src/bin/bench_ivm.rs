@@ -592,6 +592,139 @@ fn run_serve(
     }
 }
 
+/// E-WAL: the durability tax and the recovery-time curve.
+///
+/// Runs the paper workload twice over identical databases — once purely
+/// in memory, once through `DurableDatabase` (WAL on, default
+/// `SyncPolicy::Flush`) — and reports the throughput ratio, the log
+/// amplification (WAL bytes on disk / raw encoded delta payload bytes),
+/// and recovery time as a function of the checkpoint interval: for each
+/// `every_txns` policy the whole workload is re-run durably, the handle
+/// dropped (crash-stop), and `Database::open` timed cold.
+#[cfg(feature = "durability")]
+struct WalMeasured {
+    departments: usize,
+    emps_per_dept: usize,
+    transactions: usize,
+    wal_off_tps: f64,
+    wal_on_tps: f64,
+    wal_bytes: u64,
+    delta_bytes: u64,
+    recovered_identical: bool,
+    /// (checkpoint every_txns — 0 = never, replayed_txns, recovery_ms).
+    recovery: Vec<(u64, u64, f64)>,
+}
+
+#[cfg(feature = "durability")]
+fn run_wal_bench(departments: usize, emps_per_dept: usize, transactions: usize) -> WalMeasured {
+    use spacetime_ivm::{DurabilityOptions, DurableDatabase};
+    use spacetime_wal::CheckpointPolicy;
+
+    eprintln!("wal: {departments} depts x {emps_per_dept} emps, {transactions} transactions");
+    let workload = mixed_workload(departments, emps_per_dept, transactions, SEED);
+    let build = || {
+        let mut db = paper_schema_db();
+        db.set_propagation_mode(PropagationMode::Fused);
+        load_paper_data(&mut db, departments, emps_per_dept);
+        for view in VIEWS {
+            db.execute_sql(view).expect("view DDL");
+        }
+        db
+    };
+    // The honest denominator for log amplification: what the deltas cost
+    // to encode at all, before frame headers, begin/commit records, and
+    // sync policy pile on.
+    let delta_bytes: u64 = workload
+        .iter()
+        .map(|(_, d)| {
+            let mut buf = Vec::new();
+            spacetime_wal::codec::put_delta(&mut buf, d);
+            buf.len() as u64
+        })
+        .sum();
+
+    // Baseline: the same workload purely in memory, through the same
+    // transactional apply path the durable wrapper uses (all-or-nothing
+    // `apply_transaction`, not raw `apply_delta`) — the ratio isolates
+    // the durability tax, not the transaction-rollback machinery.
+    let mut mem = build();
+    let t0 = Instant::now();
+    for (table, delta) in &workload {
+        mem.apply_transaction(vec![(table.clone(), delta.clone())])
+            .expect("apply_transaction");
+    }
+    let wal_off = t0.elapsed();
+
+    // One durable pass per checkpoint interval; `0` means never, so that
+    // recovery replays the entire log — the curve's worst end.
+    let n = transactions as u64;
+    let intervals: [Option<u64>; 3] = [None, Some(n.div_ceil(4).max(1)), Some(n.div_ceil(16).max(1))];
+    let mut wal_on = Duration::ZERO;
+    let mut wal_bytes = 0u64;
+    let mut recovered_identical = true;
+    let mut recovery = Vec::new();
+    for (k, &every) in intervals.iter().enumerate() {
+        let dir = spacetime_wal::test_dir(&format!("bench_wal_{}", every.unwrap_or(0)));
+        let opts = DurabilityOptions {
+            checkpoint: CheckpointPolicy {
+                every_txns: every,
+                ..CheckpointPolicy::default()
+            },
+            ..DurabilityOptions::default()
+        };
+        let mut dur = DurableDatabase::create(build(), &dir, opts).expect("create durable db");
+        let t0 = Instant::now();
+        for (table, delta) in &workload {
+            dur.apply_delta(table, delta.clone()).expect("apply_delta");
+        }
+        let wall = t0.elapsed();
+        // The uncheckpointed pass is the apples-to-apples throughput
+        // number (checkpoints trade serve-path time for recovery time).
+        if every.is_none() {
+            wal_on = wall;
+            wal_bytes = std::fs::metadata(dir.join("wal.log"))
+                .map(|m| m.len())
+                .unwrap_or(0);
+        }
+        drop(dur); // crash-stop: no final checkpoint, recovery does the work
+
+        let t0 = Instant::now();
+        let (rec, stats) = Database::open(&dir).expect("recovery");
+        let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+        recovery.push((every.unwrap_or(0), stats.replayed_txns, recovery_ms));
+
+        // Recovery must be bit-identical to the in-memory run — checked
+        // on every interval, reported once.
+        let rec = rec.into_db();
+        for (name, t) in mem.catalog.iter() {
+            if rec.catalog.table(name).ok().map(|rt| rt.relation.data()) != Some(t.relation.data()) {
+                eprintln!(
+                    "wal: recovered table {name} diverged (every_txns={})",
+                    every.unwrap_or(0)
+                );
+                recovered_identical = false;
+            }
+        }
+        if k == 0 && !verify_all_views(&rec).expect("oracle").is_empty() {
+            eprintln!("wal: recompute oracle found stale views after recovery");
+            recovered_identical = false;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    WalMeasured {
+        departments,
+        emps_per_dept,
+        transactions,
+        wal_off_tps: transactions as f64 / wal_off.as_secs_f64(),
+        wal_on_tps: transactions as f64 / wal_on.as_secs_f64(),
+        wal_bytes,
+        delta_bytes,
+        recovered_identical,
+        recovery,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scenarios = if smoke {
@@ -652,6 +785,36 @@ fn main() {
         run_serve(24, 5, 30, &[1, 2, 4])
     } else {
         run_serve(256, 8, 150, &[1, 2, 4, 8])
+    };
+
+    // The metrics snapshot is taken *before* the WAL bench: the
+    // consistency books balance the posed-query counter exactly against
+    // the measured loops above, and the durable passes (plus the replay
+    // queries recovery poses inside `Database::open`) are not in them.
+    let expected_queries_posed: u64 = measured
+        .iter()
+        .map(|m| {
+            m.per_key.queries_posed
+                + m.batched.queries_posed
+                + m.parallel.queries_posed
+                + m.fused.queries_posed
+                + m.thread_scaling
+                    .iter()
+                    .map(|p| p.queries_posed)
+                    .sum::<u64>()
+        })
+        .sum::<u64>()
+        + serve.queries_posed;
+    let snap = spacetime_obs::snapshot();
+    #[cfg(feature = "metrics")]
+    assert_metrics_consistent(&snap, expected_queries_posed, &serve.sched_totals);
+    let _ = (expected_queries_posed, &serve.sched_totals);
+
+    #[cfg(feature = "durability")]
+    let wal = if smoke {
+        run_wal_bench(20, 5, 150)
+    } else {
+        run_wal_bench(1000, 10, 600)
     };
 
     let host_cpus = std::thread::available_parallelism()
@@ -811,27 +974,59 @@ fn main() {
     json.push_str("    ]\n");
     json.push_str("  },\n");
 
+    // The WAL section only exists when durability is compiled in (the
+    // bench crate's default); `durability_compiled` tells consumers
+    // which shape to expect. CI's no-WAL grep checks the root library
+    // stack, not this binary.
+    let _ = writeln!(
+        json,
+        "  \"durability_compiled\": {},",
+        cfg!(feature = "durability")
+    );
+    #[cfg(feature = "durability")]
+    {
+        json.push_str("  \"wal\": {\n");
+        let _ = writeln!(json, "    \"departments\": {},", wal.departments);
+        let _ = writeln!(json, "    \"emps_per_dept\": {},", wal.emps_per_dept);
+        let _ = writeln!(json, "    \"transactions\": {},", wal.transactions);
+        let _ = writeln!(json, "    \"wal_off_txns_per_sec\": {:.1},", wal.wal_off_tps);
+        let _ = writeln!(json, "    \"wal_on_txns_per_sec\": {:.1},", wal.wal_on_tps);
+        let _ = writeln!(
+            json,
+            "    \"throughput_ratio\": {:.4},",
+            wal.wal_on_tps / wal.wal_off_tps
+        );
+        let _ = writeln!(json, "    \"wal_bytes\": {},", wal.wal_bytes);
+        let _ = writeln!(json, "    \"delta_bytes\": {},", wal.delta_bytes);
+        let _ = writeln!(
+            json,
+            "    \"log_amplification\": {:.3},",
+            wal.wal_bytes as f64 / wal.delta_bytes.max(1) as f64
+        );
+        let _ = writeln!(
+            json,
+            "    \"recovered_identical\": {},",
+            wal.recovered_identical
+        );
+        json.push_str("    \"recovery\": [\n");
+        for (j, (every, replayed, ms)) in wal.recovery.iter().enumerate() {
+            let _ = write!(
+                json,
+                "      {{ \"checkpoint_every_txns\": {every}, \"replayed_txns\": {replayed}, \"recovery_ms\": {ms:.3} }}"
+            );
+            json.push_str(if j + 1 == wal.recovery.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        json.push_str("    ]\n");
+        json.push_str("  },\n");
+    }
+
     // Process-wide metrics: empty (and `metrics_recorded: false`) in the
     // default build, fully populated under `--features metrics`. CI greps
     // both states.
-    let expected_queries_posed: u64 = measured
-        .iter()
-        .map(|m| {
-            m.per_key.queries_posed
-                + m.batched.queries_posed
-                + m.parallel.queries_posed
-                + m.fused.queries_posed
-                + m.thread_scaling
-                    .iter()
-                    .map(|p| p.queries_posed)
-                    .sum::<u64>()
-        })
-        .sum::<u64>()
-        + serve.queries_posed;
-    let snap = spacetime_obs::snapshot();
-    #[cfg(feature = "metrics")]
-    assert_metrics_consistent(&snap, expected_queries_posed, &serve.sched_totals);
-    let _ = (expected_queries_posed, &serve.sched_totals);
     let _ = writeln!(
         json,
         "  \"metrics_recorded\": {},",

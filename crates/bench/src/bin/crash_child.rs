@@ -1,0 +1,42 @@
+//! Crash-test victim for `tests/crash_kill.rs`.
+//!
+//! The child builds the shared crash fixture (`workload::crash_fixture_db`)
+//! durably in the directory given as its sole argument, prints `READY`,
+//! then loops: read one line from stdin; on `go` apply the next fixture
+//! transaction and print `ACK <i>` *after* the WAL commit is on disk.
+//! The parent kills the process with SIGKILL at an arbitrary point — the
+//! default `SyncPolicy::Flush` guarantees every acked transaction (and
+//! possibly one in-flight unacked one) is recoverable.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use spacetime_bench::workload::{crash_fixture_db, crash_fixture_txn};
+use spacetime_ivm::{DurabilityOptions, DurableDatabase};
+
+fn main() {
+    let dir = std::env::args().nth(1).expect("usage: crash_child <dir>");
+    let db = crash_fixture_db();
+    let mut dur = DurableDatabase::create(db, Path::new(&dir), DurabilityOptions::default())
+        .expect("create durable db");
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    writeln!(stdout, "READY").unwrap();
+    stdout.flush().unwrap();
+
+    let mut i = 0usize;
+    for line in stdin.lock().lines() {
+        let line = line.unwrap();
+        match line.trim() {
+            "go" => {
+                dur.apply_transaction(crash_fixture_txn(i)).expect("apply");
+                writeln!(stdout, "ACK {i}").unwrap();
+                stdout.flush().unwrap();
+                i += 1;
+            }
+            "quit" | "" => break,
+            other => panic!("unknown command: {other:?}"),
+        }
+    }
+}

@@ -456,6 +456,35 @@ pub fn str_value(s: &str) -> Value {
     Value::str(s)
 }
 
+/// The shared fixture for the crash-kill integration test: the child
+/// process (`src/bin/crash_child.rs`) and the parent test
+/// (`tests/crash_kill.rs`) must build bit-identical databases and
+/// transactions, so both call these.
+pub fn crash_fixture_db() -> Database {
+    let mut db = paper_schema_db();
+    load_paper_data(&mut db, 3, 4);
+    db.execute_sql(
+        "CREATE MATERIALIZED VIEW DeptProfile AS \
+         SELECT DName, COUNT(*) AS Heads, MAX(Salary) AS TopSal \
+         FROM Emp GROUP BY DName",
+    )
+    .unwrap();
+    db.execute_sql("CREATE MATERIALIZED VIEW ActiveDepts AS SELECT DISTINCT DName FROM Emp")
+        .unwrap();
+    db
+}
+
+/// The `i`-th crash-fixture transaction: a deterministic single-row
+/// Emp insert (fresh primary key, so it always succeeds).
+pub fn crash_fixture_txn(i: usize) -> Vec<(String, Delta)> {
+    let t = Tuple::new(vec![
+        Value::str(format!("kill_e{i:04}")),
+        Value::str(format!("dept{:05}", i % 3)),
+        Value::Int(100 + i as i64),
+    ]);
+    vec![("Emp".to_string(), Delta::insert(t, 1))]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

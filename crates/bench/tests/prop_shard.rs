@@ -282,3 +282,90 @@ fn assertion_violations_align_across_serving_modes() {
         assert!(sharded.verify_all_shards().unwrap().is_empty());
     }
 }
+
+/// Regression: a dispatch-site panic (`ivm::pool_dispatch`) that kills
+/// one transaction mid-wave must leave every other shard's work
+/// untouched — the pool survives, the panicked transaction's shards are
+/// bit-identical to never having run it, and the final state matches a
+/// no-fault serial run of the surviving transactions.
+#[cfg(feature = "failpoints")]
+#[test]
+fn mid_wave_dispatch_panic_leaves_other_shards_untouched() {
+    use spacetime_storage::fault::{self, FaultPlan};
+
+    // Silence the injected panic's default hook output.
+    {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info.payload().downcast_ref::<String>().cloned().or_else(|| {
+                    info.payload().downcast_ref::<&str>().map(|s| s.to_string())
+                });
+                if msg.is_some_and(|m| m.contains("injected panic at ")) {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+    }
+    let _serial = fault::serial_guard();
+
+    let template = build_db(4, 3);
+    let txns: Vec<Txn> = mixed_workload(4, 3, 8, 31)
+        .into_iter()
+        .map(|(table, delta)| vec![(table, delta)])
+        .collect();
+    let n_shards = 4;
+
+    let sharded = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+    let out = {
+        let _guard = fault::install(FaultPlan::new().panic_at("ivm::pool_dispatch", 1));
+        TxnScheduler::new(&sharded, Arc::new(PipelinePool::new(4)))
+            .run(&txns)
+            .unwrap()
+    };
+    let panicked: Vec<usize> = out
+        .results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r, Err(IvmError::TaskPanicked { .. })))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(panicked.len(), 1, "exactly one transaction hit the panic");
+    let j = panicked[0];
+
+    // A no-fault serial control fed everything except the killed
+    // transaction: the concurrent wave's survivors must have produced
+    // exactly this state.
+    let surviving: Vec<Txn> = txns
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != j)
+        .map(|(_, t)| t.clone())
+        .collect();
+    let control = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+    let ctrl = TxnScheduler::new(&control, Arc::new(PipelinePool::new(1)))
+        .run_serial(&surviving)
+        .unwrap();
+    for (slot, i) in (0..txns.len()).filter(|&i| i != j).enumerate() {
+        assert_eq!(
+            out.results[i].is_ok(),
+            ctrl.results[slot].is_ok(),
+            "txn {i}: survivor outcome diverged from the no-fault control"
+        );
+    }
+    for s in 0..n_shards {
+        let a = sharded.shard(s);
+        let b = control.shard(s);
+        for (name, table) in a.catalog.iter() {
+            assert_eq!(
+                table.relation.data(),
+                b.catalog.table(name).unwrap().relation.data(),
+                "shard {s} table {name} diverged after a mid-wave panic"
+            );
+        }
+    }
+    assert!(sharded.verify_all_shards().unwrap().is_empty());
+}

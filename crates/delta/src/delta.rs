@@ -264,6 +264,92 @@ mod tests {
     use spacetime_storage::tuple;
 
     #[test]
+    fn split_by_keeps_same_shard_modifies_paired() {
+        // Route by the first column. Old and new agree on it, so the
+        // modification stays a modification — in its own shard, with
+        // the multiplicity preserved.
+        let d = Delta::modify(tuple![1, "a"], tuple![1, "b"], 3);
+        let parts = d.split_by(4, |t| match t.get(0) {
+            Some(Value::Int(k)) => Ok(*k as usize % 4),
+            _ => unreachable!(),
+        })
+        .unwrap();
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[1].modifies.len(), 1);
+        assert_eq!(parts[1].modifies[0].old, tuple![1, "a"]);
+        assert_eq!(parts[1].modifies[0].new, tuple![1, "b"]);
+        assert_eq!(parts[1].modifies[0].count, 3);
+        assert!(parts[1].inserts.is_empty() && parts[1].deletes.is_empty());
+        for (s, p) in parts.iter().enumerate() {
+            if s != 1 {
+                assert!(p.is_empty(), "shard {s} should be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn split_by_degrades_cross_shard_modify_to_delete_insert() {
+        // The key column changes, so the old and new sides route to
+        // different shards: a delete where the tuple was, an insert
+        // where it moved to, counts > 1 preserved on both sides, and no
+        // modify survives anywhere.
+        let d = Delta::modify(tuple![2, "a"], tuple![5, "a"], 7);
+        let parts = d.split_by(4, |t| match t.get(0) {
+            Some(Value::Int(k)) => Ok(*k as usize % 4),
+            _ => unreachable!(),
+        })
+        .unwrap();
+        assert!(parts.iter().all(|p| p.modifies.is_empty()));
+        assert_eq!(parts[2].deletes.count(&tuple![2, "a"]), 7);
+        assert!(parts[2].inserts.is_empty());
+        assert_eq!(parts[1].inserts.count(&tuple![5, "a"]), 7);
+        assert!(parts[1].deletes.is_empty());
+        // Net effect is preserved: concatenating the parts equals the
+        // normalized original.
+        let mut merged = Delta::new();
+        for p in parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, d.normalized());
+    }
+
+    #[test]
+    fn split_by_mixed_modifies_route_independently() {
+        // One same-shard and one cross-shard modification in a single
+        // delta: the first stays paired, the second degrades; inserts
+        // and deletes route alongside untouched.
+        let mut d = Delta::insert(tuple![4, "i"], 2);
+        d.deletes.insert(tuple![8, "d"], 1);
+        d.push_modify(tuple![0, "x"], tuple![0, "y"], 2); // same shard 0
+        d.push_modify(tuple![1, "x"], tuple![2, "x"], 5); // shard 1 -> 2
+        let parts = d.split_by(3, |t| match t.get(0) {
+            Some(Value::Int(k)) => Ok(*k as usize % 3),
+            _ => unreachable!(),
+        })
+        .unwrap();
+        assert_eq!(parts[0].modifies.len(), 1, "same-shard modify stays");
+        assert_eq!(parts[0].modifies[0].count, 2);
+        assert_eq!(parts[1].deletes.count(&tuple![1, "x"]), 5);
+        assert_eq!(parts[2].inserts.count(&tuple![2, "x"]), 5);
+        assert!(parts[1].modifies.is_empty() && parts[2].modifies.is_empty());
+        // The plain inserts/deletes landed on their own shards (4 % 3 =
+        // 1, 8 % 3 = 2).
+        assert_eq!(parts[1].inserts.count(&tuple![4, "i"]), 2);
+        assert_eq!(parts[2].deletes.count(&tuple![8, "d"]), 1);
+    }
+
+    #[test]
+    fn split_by_routing_error_aborts() {
+        let d = Delta::modify(tuple![1, "a"], tuple![2, "a"], 1);
+        let r = d.split_by(2, |_| {
+            Err(spacetime_storage::StorageError::BadIndexColumns(
+                "no shard key".into(),
+            ))
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
     fn noop_modifies_dropped() {
         let d = Delta::modify(tuple![1, 2], tuple![1, 2], 1);
         assert!(d.is_empty());

@@ -218,6 +218,25 @@ impl Database {
         self.exec
     }
 
+    /// The active propagation mode (checkpoints persist it).
+    pub fn propagation_mode(&self) -> PropagationMode {
+        self.mode
+    }
+
+    /// Recovery hook: register an engine rebuilt from a checkpoint (its
+    /// tables are already restored and bound via `rebuild_pinned`).
+    #[cfg(feature = "durability")]
+    pub(crate) fn install_engine(&mut self, engine: IvmEngine) {
+        self.engines.push(Arc::new(engine));
+    }
+
+    /// Recovery hook: re-register a checkpointed assertion without
+    /// re-running its creation path (its backing view already exists).
+    #[cfg(feature = "durability")]
+    pub(crate) fn install_assertion(&mut self, assertion: Assertion) {
+        self.assertions.push(assertion);
+    }
+
     /// The execution mode transactions actually run under. On a 1-CPU
     /// host, a declared [`ExecutionMode::Parallel`] with no explicit
     /// override (no session pool from [`Database::set_pipeline_pool`], no
@@ -451,6 +470,7 @@ impl Database {
             }
         };
         let mut engine = IvmEngine::build(name, memo, root, view_set, &mut self.catalog)?;
+        engine.creation = vec![(name.to_string(), tree)];
         engine.set_propagation_mode(self.mode);
         self.engines.push(Arc::new(engine));
         Ok(self.engines.last().expect("just pushed"))
@@ -515,6 +535,7 @@ impl Database {
             outcome.best.view_set,
             &mut self.catalog,
         )?;
+        engine.creation = views;
         engine.set_propagation_mode(self.mode);
         self.engines.push(Arc::new(engine));
         Ok(self.engines.last().expect("just pushed"))

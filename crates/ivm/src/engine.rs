@@ -16,7 +16,7 @@ use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use spacetime_algebra::{ExprNode, FusedProgram, OpKind};
+use spacetime_algebra::{ExprNode, ExprTree, FusedProgram, OpKind};
 use spacetime_cost::{CostCtx, PageIoCostModel, TransactionType};
 use spacetime_delta::{apply_to_relation, Delta, InputAccess};
 use spacetime_memo::{GroupId, Memo, OpId};
@@ -237,6 +237,15 @@ pub struct IvmEngine {
     pub view_set: ViewSet,
     /// Materialized group → backing table.
     pub materialized: BTreeMap<GroupId, String>,
+    /// The original creation trees, `(view name, tree)` per root, in
+    /// creation order — the durable rebuild recipe. Replaying them
+    /// through `Memo::insert_tree` + `explore` reproduces this memo
+    /// bit-identically (exploration is deterministic structural
+    /// rewriting), which is how recovery re-derives group ids without
+    /// trusting them from disk. Empty for engines built directly via
+    /// [`IvmEngine::build`] (checkpointing requires database-created
+    /// engines).
+    pub creation: Vec<(String, ExprTree)>,
     /// Cost model used for runtime plan choices.
     pub model: PageIoCostModel,
     /// Chosen update track per base table.
@@ -275,6 +284,34 @@ impl IvmEngine {
         view_set: ViewSet,
         catalog: &mut Catalog,
     ) -> IvmResult<IvmEngine> {
+        Self::build_inner(named_roots, memo, view_set, catalog, None)
+    }
+
+    /// Recovery-time variant: attach to tables that already exist in
+    /// the catalog (restored from a checkpoint with contents, indexes,
+    /// and statistics) instead of creating and computing them. `pins`
+    /// maps every view-set group to its backing-table name; the normal
+    /// create/evaluate/load/analyze step is skipped wholesale, while
+    /// track choice and propagation state are computed fresh against
+    /// the restored statistics.
+    #[cfg(feature = "durability")]
+    pub(crate) fn rebuild_pinned(
+        named_roots: Vec<(String, GroupId)>,
+        memo: Memo,
+        view_set: ViewSet,
+        catalog: &mut Catalog,
+        pins: &BTreeMap<GroupId, String>,
+    ) -> IvmResult<IvmEngine> {
+        Self::build_inner(named_roots, memo, view_set, catalog, Some(pins))
+    }
+
+    fn build_inner(
+        named_roots: Vec<(String, GroupId)>,
+        memo: Memo,
+        view_set: ViewSet,
+        catalog: &mut Catalog,
+        pins: Option<&BTreeMap<GroupId, String>>,
+    ) -> IvmResult<IvmEngine> {
         assert!(!named_roots.is_empty(), "at least one root view");
         let named_roots: Vec<(String, GroupId)> = named_roots
             .into_iter()
@@ -297,6 +334,27 @@ impl IvmEngine {
         let index_map = needed_indexes_map(&memo);
         let mut materialized = BTreeMap::new();
         for &g in &view_set {
+            // Indexes: one per column set this node can be queried on.
+            let mut index_sets = index_map.get(&g).cloned().unwrap_or_default();
+            index_sets.sort();
+            index_sets.dedup();
+            if let Some(pins) = pins {
+                // Attach mode: the backing table was already restored
+                // (contents, indexes, stats); just record the binding.
+                // Index creation is idempotent, so filling any gap the
+                // checkpoint might have is a no-op in the common case.
+                let table_name = pins.get(&g).cloned().ok_or_else(|| {
+                    IvmError::Internal(format!("no pinned table for group {}", g.0))
+                })?;
+                let t = catalog.table_mut(&table_name)?;
+                for cols in index_sets {
+                    if !cols.is_empty() {
+                        t.relation.create_index(cols)?;
+                    }
+                }
+                materialized.insert(g, table_name);
+                continue;
+            }
             let table_name = if let Some((n, _)) = named_roots.iter().find(|&&(_, r)| r == g) {
                 n.clone()
             } else {
@@ -306,10 +364,6 @@ impl IvmEngine {
             catalog.create_materialized(&table_name, schema)?;
             let tree = memo.extract_one(g);
             let contents = spacetime_algebra::eval_uncharged(&tree, catalog)?;
-            // Indexes: one per column set this node can be queried on.
-            let mut index_sets = index_map.get(&g).cloned().unwrap_or_default();
-            index_sets.sort();
-            index_sets.dedup();
             {
                 let t = catalog.table_mut(&table_name)?;
                 for cols in index_sets {
@@ -423,6 +477,7 @@ impl IvmEngine {
             roots,
             view_set,
             materialized,
+            creation: Vec::new(),
             model,
             tracks,
             complete,

@@ -28,6 +28,10 @@
 //!   concurrently, conflicting and cross-shard ones serialize through a
 //!   cross-shard all-or-nothing commit protocol; serial replay in
 //!   admission order is bit-identical.
+//! * `durability` (feature `durability`) — per-shard write-ahead
+//!   logging, checkpoints, and crash recovery proven bit-identical
+//!   (DESIGN.md §17). Off by default; the default build does not link
+//!   the wal crate.
 //! * [`trace`] — propagation-trace recording: the opt-in, always-compiled
 //!   `EXPLAIN ANALYZE` plane ([`Database::set_tracing`] /
 //!   [`Database::last_trace`]), structurally deterministic across
@@ -37,6 +41,8 @@
 
 pub mod constraints;
 pub mod database;
+#[cfg(feature = "durability")]
+pub mod durability;
 pub mod engine;
 pub mod pipeline;
 pub mod qexec;
@@ -47,6 +53,10 @@ pub mod verify;
 
 pub use constraints::{Assertion, Violation};
 pub use database::{Database, PhaseTotals, ViewSelection};
+#[cfg(feature = "durability")]
+pub use durability::{
+    DurabilityOptions, DurableDatabase, DurableSharded, RecoveryStats, ShardWals,
+};
 pub use engine::{IvmEngine, PropagationMode, UpdateReport};
 pub use pipeline::{ExecutionMode, PipelinePool, SharedDeltaCache};
 pub use sched::{SchedOutcome, SchedStats, Txn, TxnScheduler};

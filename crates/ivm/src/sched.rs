@@ -102,10 +102,20 @@ pub struct SchedOutcome {
     pub stats: SchedStats,
 }
 
+#[cfg(feature = "durability")]
+use crate::durability::ShardWals;
+/// Uninhabited stand-in so `apply_parts` keeps one signature when the
+/// `durability` feature (and with it the real `ShardWals`) is off: an
+/// `Option<Arc<…>>` of this type can only ever be `None`.
+#[cfg(not(feature = "durability"))]
+type ShardWals = std::convert::Infallible;
+
 /// A scheduler bound to a sharded database and a worker pool.
 pub struct TxnScheduler<'a> {
     db: &'a ShardedDatabase,
     pool: Arc<PipelinePool>,
+    /// Per-shard WAL sessions + global commit log for durable serving.
+    wals: Option<Arc<ShardWals>>,
 }
 
 /// A transaction's routed form: per-shard sub-transactions in ascending
@@ -117,7 +127,29 @@ impl<'a> TxnScheduler<'a> {
     /// disjoint transactions actually run at once; admission logic is
     /// width-independent.
     pub fn new(db: &'a ShardedDatabase, pool: Arc<PipelinePool>) -> Self {
-        TxnScheduler { db, pool }
+        TxnScheduler {
+            db,
+            pool,
+            wals: None,
+        }
+    }
+
+    /// A durable scheduler: every transaction is write-ahead logged on
+    /// the shards it touches (cross-shard transactions through the 2PC
+    /// global commit record) before its results are reported. `wals`
+    /// must come from the [`crate::durability::DurableSharded`] that
+    /// owns `db`'s logs.
+    #[cfg(feature = "durability")]
+    pub fn with_wals(
+        db: &'a ShardedDatabase,
+        pool: Arc<PipelinePool>,
+        wals: Arc<ShardWals>,
+    ) -> Self {
+        TxnScheduler {
+            db,
+            pool,
+            wals: Some(wals),
+        }
     }
 
     /// The sharded database this scheduler serves.
@@ -209,7 +241,21 @@ impl<'a> TxnScheduler<'a> {
             let mut batch: Vec<usize> = Vec::new();
             let mut rest: Vec<usize> = Vec::new();
             for &i in &pending {
-                let fp = parts[i].as_ref().expect("pending txns are routed");
+                let Some(fp) = parts[i].as_ref() else {
+                    // A routing-bookkeeping bug degrades to one failed
+                    // transaction, not a poisoned scheduler.
+                    results[i] = Some(Err(IvmError::Internal(
+                        "scheduler invariant broken: pending transaction has no routed parts"
+                            .into(),
+                    )));
+                    if concurrent {
+                        obs::gauge_add(metric::SCHED_QUEUE_DEPTH, -1.0);
+                        for s in txn_footprint(txns, self.db, i) {
+                            obs::gauge_add(metric::sched_shard_queue_depth(s), -1.0);
+                        }
+                    }
+                    continue;
+                };
                 let free = fp
                     .iter()
                     .all(|(s, _)| !busy.contains(s) && !blocked.contains(s));
@@ -243,18 +289,34 @@ impl<'a> TxnScheduler<'a> {
             let t_wave = Instant::now();
             let cells = self.db.cells();
             type TaskOut = (IvmResult<UpdateReport>, u64);
-            let tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send>> = batch
-                .iter()
-                .map(|&i| {
-                    let cells: Vec<Arc<Mutex<Database>>> = cells.to_vec();
-                    let p = parts[i].take().expect("batched txns are routed");
-                    let t0 = Instant::now();
-                    Box::new(move || {
-                        let r = apply_parts(&cells, &p);
-                        (r, t0.elapsed().as_nanos() as u64)
-                    }) as Box<dyn FnOnce() -> TaskOut + Send>
-                })
-                .collect();
+            let mut tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send>> =
+                Vec::with_capacity(batch.len());
+            let mut dispatched: Vec<usize> = Vec::with_capacity(batch.len());
+            for &i in &batch {
+                let Some(p) = parts[i].take() else {
+                    // Same degradation as above: one failed transaction,
+                    // and the rest of the wave still runs.
+                    results[i] = Some(Err(IvmError::Internal(
+                        "scheduler invariant broken: admitted transaction has no routed parts"
+                            .into(),
+                    )));
+                    if concurrent {
+                        obs::gauge_add(metric::SCHED_QUEUE_DEPTH, -1.0);
+                        for s in txn_footprint(txns, self.db, i) {
+                            obs::gauge_add(metric::sched_shard_queue_depth(s), -1.0);
+                        }
+                    }
+                    continue;
+                };
+                let cells: Vec<Arc<Mutex<Database>>> = cells.to_vec();
+                let wals = self.wals.clone();
+                let t0 = Instant::now();
+                tasks.push(Box::new(move || {
+                    let r = apply_parts(&cells, &p, wals.as_deref());
+                    (r, t0.elapsed().as_nanos() as u64)
+                }));
+                dispatched.push(i);
+            }
             let outcomes = if concurrent {
                 self.pool.run_outcomes(tasks)?
             } else {
@@ -265,7 +327,7 @@ impl<'a> TxnScheduler<'a> {
                     .collect()
             };
             for (k, outcome) in outcomes.into_iter().enumerate() {
-                let i = batch[k];
+                let i = dispatched[k];
                 match outcome {
                     Ok((r, ns)) => {
                         results[i] = Some(r);
@@ -317,7 +379,26 @@ fn txn_footprint(txns: &[Txn], db: &ShardedDatabase, i: usize) -> Vec<usize> {
 /// Apply one transaction's per-shard sub-transactions: the cross-shard
 /// commit protocol (module docs). Single-shard transactions take the same
 /// path with a one-element footprint — backup, commit, done.
-fn apply_parts(cells: &[Arc<Mutex<Database>>], parts: &ShardParts) -> IvmResult<UpdateReport> {
+///
+/// With `wals` present every participant is write-ahead logged: `begin +
+/// deltas` (plus `prepared` for cross-shard transactions) before its
+/// in-memory apply, the commit record after. A cross-shard transaction's
+/// atomic commit point is the global commit record appended *after* every
+/// participant applied and flushed — recovery aborts prepared
+/// participants whose global record is absent, which is exactly what the
+/// in-memory rollback below converges to.
+fn apply_parts(
+    cells: &[Arc<Mutex<Database>>],
+    parts: &ShardParts,
+    wals: Option<&ShardWals>,
+) -> IvmResult<UpdateReport> {
+    #[cfg(not(feature = "durability"))]
+    let _ = wals; // uninhabited: always `None` without the feature
+    #[cfg(feature = "durability")]
+    let gid: Option<u64> = match wals {
+        Some(w) if parts.len() > 1 => Some(w.alloc_gid()),
+        _ => None,
+    };
     let mut committed: Vec<(usize, spacetime_storage::Catalog, Option<UpdateReport>)> = Vec::new();
     let mut combined = UpdateReport::default();
     let mut failure: Option<IvmError> = None;
@@ -325,9 +406,32 @@ fn apply_parts(cells: &[Arc<Mutex<Database>>], parts: &ShardParts) -> IvmResult<
         let mut db = cells[*shard].lock().unwrap_or_else(|e| e.into_inner());
         let backup = db.catalog.clone();
         let prior_report = db.last_report.clone();
+        #[cfg(feature = "durability")]
+        let wal_txn: Option<u64> = match wals {
+            Some(w) => match w.begin_shard(*shard, gid, updates) {
+                Ok(id) => Some(id),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            },
+            None => None,
+        };
         let out = catch_unwind(AssertUnwindSafe(|| db.apply_transaction(updates.clone())));
         match out {
             Ok(Ok(r)) => {
+                #[cfg(feature = "durability")]
+                if let (Some(w), Some(txn_id), None) = (wals, wal_txn, gid) {
+                    // Single-shard durable commit point. If the record
+                    // cannot be written, memory must not run ahead of
+                    // the log: restore and fail the transaction.
+                    if let Err(e) = w.commit_shard(*shard, txn_id) {
+                        db.catalog = backup;
+                        db.last_report = prior_report;
+                        failure = Some(e);
+                        break;
+                    }
+                }
                 combined.merge(&r);
                 committed.push((*shard, backup, prior_report));
             }
@@ -345,6 +449,19 @@ fn apply_parts(cells: &[Arc<Mutex<Database>>], parts: &ShardParts) -> IvmResult<
                     message: panic_message(p.as_ref()),
                 });
                 break;
+            }
+        }
+    }
+    #[cfg(feature = "durability")]
+    if failure.is_none() {
+        if let (Some(w), Some(g)) = (wals, gid) {
+            // Cross-shard commit point: flush the participants, then
+            // one global commit record. Failure converges to the
+            // rollback path below — and to abort-at-recovery, since no
+            // global record was made durable.
+            let fp: Vec<usize> = parts.iter().map(|(s, _)| *s).collect();
+            if let Err(e) = w.commit_global(g, &fp) {
+                failure = Some(e);
             }
         }
     }

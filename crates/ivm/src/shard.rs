@@ -134,6 +134,17 @@ impl ShardedDatabase {
         Ok(ShardedDatabase { spec, shards })
     }
 
+    /// Reassemble a sharded database from recovered shard cells (crash
+    /// recovery restores each shard independently; see
+    /// `crate::durability`).
+    #[cfg(feature = "durability")]
+    pub(crate) fn from_parts(
+        spec: ShardSpec,
+        shards: Vec<Arc<Mutex<Database>>>,
+    ) -> ShardedDatabase {
+        ShardedDatabase { spec, shards }
+    }
+
     /// The shard count.
     pub fn n_shards(&self) -> usize {
         self.shards.len()

@@ -113,3 +113,15 @@ pub fn sched_shard_queue_depth(shard: usize) -> &'static str {
 
 /// Failpoints fired (only moves in `failpoints` builds).
 pub const FAILPOINTS_FIRED: &str = "spacetime_failpoints_fired_total";
+
+/// WAL record frames appended (only moves in `durability` builds).
+pub const WAL_APPENDS: &str = "spacetime_wal_appends_total";
+/// WAL bytes appended, frame headers included.
+pub const WAL_BYTES: &str = "spacetime_wal_bytes_total";
+/// fsyncs issued by the WAL (`SyncPolicy::Always` commits, checkpoints).
+pub const WAL_FSYNCS: &str = "spacetime_wal_fsyncs_total";
+/// Checkpoint segments installed.
+pub const WAL_CHECKPOINTS: &str = "spacetime_wal_checkpoints_total";
+/// Committed transactions replayed from the log tail during recovery —
+/// with checkpointing active this counts only the post-checkpoint tail.
+pub const WAL_RECOVERY_REPLAYED_TXNS: &str = "spacetime_wal_recovery_replayed_txns_total";

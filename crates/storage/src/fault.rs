@@ -91,6 +91,25 @@ pub const SITES: &[Site] = &[
         supports_error: false,
         supports_panic: true,
     },
+    // Fired by `WalWriter::append` before any bytes are framed — a
+    // durable-commit append that errors must leave memory and disk
+    // agreeing (the durability layer restores its catalog backup).
+    // Only reachable in `durability` builds; the fault sweep tolerates
+    // sites that never fire.
+    Site {
+        name: "wal::append",
+        supports_error: true,
+        supports_panic: false,
+    },
+    // Fired immediately before the cross-shard global commit record is
+    // appended — the 2PC decision point. An error here must abort the
+    // whole wave (presumed abort: prepared-but-uncommitted participants
+    // roll back at recovery).
+    Site {
+        name: "wal::global_commit",
+        supports_error: true,
+        supports_panic: false,
+    },
 ];
 
 /// Whether this build compiled the failpoint machinery in.

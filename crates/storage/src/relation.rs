@@ -67,6 +67,11 @@ impl Relation {
         self.tuples_per_page = tpp;
     }
 
+    /// The tuples-per-page packing factor (checkpoints persist it).
+    pub fn tuples_per_page(&self) -> u64 {
+        self.tuples_per_page
+    }
+
     /// Direct (uncharged) access to the underlying bag — for verification
     /// oracles and statistics gathering, not for costed query paths.
     pub fn data(&self) -> &Bag {

@@ -1,0 +1,232 @@
+//! # spacetime-wal — durability for the traded space
+//!
+//! The paper's materialized views trade space for time, but until this
+//! crate every byte of that traded space was volatile. `spacetime-wal`
+//! provides the three durability primitives the IVM layer composes
+//! into crash recovery (see `spacetime-ivm`'s `durability` module and
+//! DESIGN.md §17):
+//!
+//! * **Write-ahead log** ([`log`]): CRC32-framed, length-prefixed
+//!   records (txn-begin, per-relation delta payload, txn-commit /
+//!   2PC prepared, checkpoint marker) appended at the existing commit
+//!   points. Readers accept the longest valid prefix; torn or
+//!   corrupted crash suffixes are discarded and truncated.
+//! * **Checkpoints** ([`checkpoint`]): a full catalog snapshot (base
+//!   relations *and* chosen materializations) written to a temp file,
+//!   fsynced, and atomically renamed over the previous checkpoint, so
+//!   a crash mid-checkpoint always leaves a valid one.
+//! * **Crash surgery** ([`crash`]): deterministic frame-boundary file
+//!   mutilation (torn tail, truncated segment, corrupted CRC, dropped
+//!   commit frame) used by the recovery property suites.
+//!
+//! The codec ([`codec`]) is hand-rolled — including the CRC32 — because
+//! the workspace builds offline with no registry access.
+
+use std::path::{Path, PathBuf};
+
+pub mod checkpoint;
+pub mod codec;
+pub mod crash;
+pub mod log;
+
+pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointDoc, EngineDump, RawCheckpoint, TableDump};
+pub use log::{frame_spans, scan_log, LogScan, Record, WalWriter};
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// The log or checkpoint bytes are not a valid encoding. During
+    /// recovery this is expected at the crash frontier and handled by
+    /// discarding the suffix; anywhere else it is fatal.
+    Corrupt(String),
+    /// An I/O error from the filesystem.
+    Io(std::io::Error),
+    /// A storage-layer error surfaced while re-deriving schemas or
+    /// firing a failpoint.
+    Storage(spacetime_storage::StorageError),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Corrupt(m) => write!(f, "corrupt wal data: {m}"),
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Storage(e) => write!(f, "wal storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<spacetime_storage::StorageError> for WalError {
+    fn from(e: spacetime_storage::StorageError) -> Self {
+        WalError::Storage(e)
+    }
+}
+
+pub type WalResult<T> = Result<T, WalError>;
+
+/// When appended frames become durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Flush to the OS at every commit: survives process death
+    /// (`kill -9`) but not power loss. The default — keeps WAL-on
+    /// serve throughput close to the in-memory baseline.
+    #[default]
+    Flush,
+    /// fsync at every commit: survives power loss.
+    Always,
+    /// Only flush/fsync when a checkpoint is taken; commits in between
+    /// may be lost on any crash. For bulk loads.
+    OnCheckpoint,
+}
+
+/// When [`WalSession::should_checkpoint`] starts answering `true`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after this many committed transactions.
+    pub every_txns: Option<u64>,
+    /// Checkpoint after this many appended WAL bytes.
+    pub every_bytes: Option<u64>,
+}
+
+impl Default for CheckpointPolicy {
+    /// Never checkpoint automatically; callers invoke `checkpoint()`
+    /// explicitly.
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_txns: None,
+            every_bytes: None,
+        }
+    }
+}
+
+/// One shard's live WAL handle: the writer plus txn-id allocation and
+/// checkpoint-policy accounting. The IVM layer drives it; this type
+/// only knows about records and bytes.
+#[derive(Debug)]
+pub struct WalSession {
+    writer: WalWriter,
+    pub sync: SyncPolicy,
+    pub policy: CheckpointPolicy,
+    next_txn: u64,
+    txns_since_checkpoint: u64,
+    bytes_since_checkpoint: u64,
+}
+
+impl WalSession {
+    /// Open a session over `path`, truncating to `valid_len` (from a
+    /// prior [`scan_log`]) and allocating txn ids from `next_txn` up.
+    pub fn open(
+        path: &Path,
+        valid_len: u64,
+        next_txn: u64,
+        sync: SyncPolicy,
+        policy: CheckpointPolicy,
+    ) -> WalResult<Self> {
+        Ok(WalSession {
+            writer: WalWriter::open(path, valid_len)?,
+            sync,
+            policy,
+            next_txn,
+            txns_since_checkpoint: 0,
+            bytes_since_checkpoint: 0,
+        })
+    }
+
+    pub fn writer(&mut self) -> &mut WalWriter {
+        &mut self.writer
+    }
+
+    pub fn next_txn_id(&self) -> u64 {
+        self.next_txn
+    }
+
+    /// Allocate a txn id and append its begin + delta records
+    /// (buffered). The commit point is [`WalSession::commit`] /
+    /// [`WalSession::prepared`].
+    pub fn begin(
+        &mut self,
+        global: Option<u64>,
+        updates: &[(String, spacetime_delta::Delta)],
+    ) -> WalResult<u64> {
+        let txn_id = self.next_txn;
+        self.next_txn += 1;
+        let mut bytes = self.writer.append(&Record::TxnBegin { txn_id, global })?;
+        for (table, delta) in updates {
+            bytes += self.writer.append(&Record::Delta {
+                txn_id,
+                table: table.clone(),
+                delta: delta.clone(),
+            })?;
+        }
+        self.bytes_since_checkpoint += bytes;
+        Ok(txn_id)
+    }
+
+    /// Append the commit record for a single-shard txn and make it
+    /// durable per the sync policy.
+    pub fn commit(&mut self, txn_id: u64) -> WalResult<()> {
+        let bytes = self.writer.append(&Record::TxnCommit { txn_id })?;
+        self.writer.commit_durable(self.sync)?;
+        self.txns_since_checkpoint += 1;
+        self.bytes_since_checkpoint += bytes;
+        Ok(())
+    }
+
+    /// Append the 2PC prepared marker for a cross-shard participant
+    /// (durability is deferred to the coordinator's pre-commit flush).
+    pub fn prepared(&mut self, txn_id: u64) -> WalResult<()> {
+        let bytes = self.writer.append(&Record::Prepared { txn_id })?;
+        self.txns_since_checkpoint += 1;
+        self.bytes_since_checkpoint += bytes;
+        Ok(())
+    }
+
+    /// Does the configured policy call for a checkpoint now?
+    pub fn should_checkpoint(&self) -> bool {
+        self.policy
+            .every_txns
+            .is_some_and(|n| self.txns_since_checkpoint >= n)
+            || self
+                .policy
+                .every_bytes
+                .is_some_and(|n| self.bytes_since_checkpoint >= n)
+    }
+
+    /// The caller installed a checkpoint covering everything through
+    /// `last_txn`: truncate the log, append the marker, reset policy
+    /// accounting.
+    pub fn after_checkpoint(&mut self, last_txn: u64) -> WalResult<()> {
+        self.writer.truncate()?;
+        self.writer.append(&Record::Checkpoint { last_txn })?;
+        self.writer.commit_durable(match self.sync {
+            SyncPolicy::OnCheckpoint => SyncPolicy::Always,
+            s => s,
+        })?;
+        self.txns_since_checkpoint = 0;
+        self.bytes_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+/// A unique, freshly-created scratch directory under the system temp
+/// dir (the workspace has no tempfile crate). Callers remove it.
+pub fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "spacetime_wal_{}_{}_{tag}",
+        std::process::id(),
+        n
+    ));
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
