@@ -40,7 +40,16 @@ every scenario x mode (and serve point) side by side with the baseline
 and the percentage change — so the offending regression is readable at a
 glance without re-running anything.
 
-Usage: throughput_ratchet.py <fresh.json> <baseline.json> [min_ratio] [--alloc-check]
+With ``--history <bench_history.jsonl>`` the ratchet additionally prints
+a trend table over the last ``HISTORY_RUNS`` appended runs (the bench
+binary appends one line per run): per-scenario batched/fused and serve
+throughput side by side, oldest first, so drift that stays above the
+loose floor is still visible across commits. The history file is
+informational — a missing or malformed file prints a note and never
+fails the ratchet.
+
+Usage: throughput_ratchet.py <fresh.json> <baseline.json> [min_ratio]
+       [--alloc-check] [--history <bench_history.jsonl>]
 """
 
 import json
@@ -48,6 +57,8 @@ import sys
 
 MODES = ("per_key", "batched", "parallel", "fused")
 SERVE_SHARD_FLOORS = (1, 4)
+# Trend-table depth for --history.
+HISTORY_RUNS = 10
 # WAL-on serve throughput must stay within 25% of the in-memory pass.
 WAL_RATIO_FLOOR = 0.75
 
@@ -232,9 +243,64 @@ def delta_table(fresh, base, fresh_doc, base_doc):
         print(f"  {label:22} {got:>12.1f} {want:>12.1f} {pct:>+7.1f}%")
 
 
+def history_table(path, runs=HISTORY_RUNS):
+    """Trend table over the last ``runs`` lines of the bench-history
+    JSONL the bench binary appends. Purely informational: any problem
+    reading the file prints a note and returns."""
+    try:
+        with open(path) as f:
+            lines = [ln for ln in f if ln.strip()]
+    except OSError as e:
+        print(f"history: {e}; skipping trend table")
+        return
+    entries = []
+    for ln in lines[-runs:]:
+        try:
+            entries.append(json.loads(ln))
+        except json.JSONDecodeError:
+            print(f"history: skipping malformed line {ln[:60]!r}")
+    if not entries:
+        print("history: no runs recorded yet")
+        return
+    scenario_names = sorted({n for e in entries for n in e.get("scenarios", {})})
+    serve_keys = sorted({k for e in entries for k in e.get("serve_tps", {})})
+    cols = [f"{n}/batched" for n in scenario_names]
+    cols += [f"{n}/fused" for n in scenario_names]
+    cols += [f"serve/{k}" for k in serve_keys]
+    print(f"\nthroughput trend (last {len(entries)} run(s), oldest first, txn/s):")
+    print("  " + f"{'ts':>12} {'smoke':>5} " + " ".join(f"{c:>16}" for c in cols))
+    for e in entries:
+        cells = []
+        for n in scenario_names:
+            cells.append(e.get("scenarios", {}).get(n, {}).get("batched_tps"))
+        for n in scenario_names:
+            cells.append(e.get("scenarios", {}).get(n, {}).get("fused_tps"))
+        for k in serve_keys:
+            cells.append(e.get("serve_tps", {}).get(k))
+        rendered = " ".join(
+            f"{'-' if v is None else f'{v:.1f}':>16}" for v in cells
+        )
+        print(f"  {e.get('ts', 0):>12} {str(e.get('smoke', '?')):>5} {rendered}")
+
+
 def main():
-    args = [a for a in sys.argv[1:] if a != "--alloc-check"]
-    alloc_check = "--alloc-check" in sys.argv[1:]
+    argv = sys.argv[1:]
+    alloc_check = "--alloc-check" in argv
+    history_path = None
+    args = []
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a == "--alloc-check":
+            pass
+        elif a == "--history":
+            if i + 1 >= len(argv):
+                sys.exit("--history requires a path argument")
+            i += 1
+            history_path = argv[i]
+        else:
+            args.append(a)
+        i += 1
     if len(args) < 2:
         sys.exit(__doc__)
     fresh_path, base_path = args[0], args[1]
@@ -250,6 +316,8 @@ def main():
     failures += wal_ratchet(fresh_doc)
     if alloc_check:
         failures += alloc_ratchet(fresh, base)
+    if history_path is not None:
+        history_table(history_path)
 
     if failures:
         delta_table(fresh, base, fresh_doc, base_doc)

@@ -816,6 +816,10 @@ fn main() {
     } else {
         run_wal_bench(1000, 10, 600)
     };
+    // The WAL-plane books run on a second snapshot, delta'd against the
+    // pre-WAL one the report embeds.
+    #[cfg(all(feature = "metrics", feature = "durability"))]
+    assert_wal_metrics_consistent(&snap, &wal);
 
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -949,6 +953,19 @@ fn main() {
         "    \"union_matches_unsharded\": {},",
         serve.union_matches_unsharded
     );
+    // The scheduler's own books for the concurrent runs — the exact
+    // values the labeled metric families must balance against under
+    // `--features metrics` (see `assert_metrics_consistent`).
+    let _ = writeln!(
+        json,
+        "    \"sched_totals\": {{ \"txns\": {}, \"committed\": {}, \"aborted\": {}, \"shard_participations\": {}, \"waves\": {}, \"cross_shard_txns\": {} }},",
+        serve.sched_totals.txns,
+        serve.sched_totals.committed,
+        serve.sched_totals.aborted,
+        serve.sched_totals.shard_participations,
+        serve.sched_totals.waves,
+        serve.sched_totals.cross_shard_txns,
+    );
     json.push_str("    \"points\": [\n");
     for (j, p) in serve.points.iter().enumerate() {
         let (p50, p95, p99, max) = p.latency_quantiles_ns();
@@ -1038,6 +1055,60 @@ fn main() {
 
     std::fs::write("BENCH_ivm.json", &json).expect("write BENCH_ivm.json");
     println!("wrote BENCH_ivm.json");
+    append_bench_history(&measured, &serve, smoke);
+}
+
+/// One compact line per run appended to `results/bench_history.jsonl` —
+/// the longitudinal record `ci/throughput_ratchet.py` renders as a trend
+/// table. Wall-clock metadata lives here rather than in `BENCH_ivm.json`
+/// so the main report's shape stays run-independent.
+fn append_bench_history(measured: &[Measured], serve: &ServeMeasured, smoke: bool) {
+    use std::io::Write as _;
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{ \"ts\": {ts}, \"smoke\": {smoke}, \"metrics\": {}, \"durability\": {}, \"scenarios\": {{",
+        spacetime_obs::compiled(),
+        cfg!(feature = "durability"),
+    );
+    for (i, m) in measured.iter().enumerate() {
+        let n = m.scenario.transactions;
+        let _ = write!(
+            line,
+            "{}\"{}\": {{ \"batched_tps\": {:.1}, \"parallel_tps\": {:.1}, \"fused_tps\": {:.1} }}",
+            if i == 0 { " " } else { ", " },
+            m.scenario.name,
+            m.batched.txns_per_sec(n),
+            m.parallel.txns_per_sec(n),
+            m.fused.txns_per_sec(n),
+        );
+    }
+    let _ = write!(line, " }}, \"serve_tps\": {{");
+    for (j, p) in serve.points.iter().enumerate() {
+        let _ = write!(
+            line,
+            "{}\"s{}\": {:.1}",
+            if j == 0 { " " } else { ", " },
+            p.shards,
+            p.txns_per_sec(serve.transactions)
+        );
+    }
+    let _ = write!(line, " }} }}");
+    let appended = std::fs::create_dir_all("results").and_then(|()| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("results/bench_history.jsonl")
+            .and_then(|mut f| writeln!(f, "{line}"))
+    });
+    match appended {
+        Ok(()) => println!("appended results/bench_history.jsonl"),
+        Err(e) => eprintln!("bench history append failed: {e}"),
+    }
 }
 
 /// Internal-consistency checks over the recorded metrics (CI's
@@ -1104,18 +1175,124 @@ fn assert_metrics_consistent(
         );
     }
     // Every admitted transaction completed, so the queue-depth gauges
-    // (global and per-shard) must have drained back to zero.
+    // (global and the per-shard labeled family) must have drained back
+    // to zero.
     assert_eq!(
         snap.gauge(metric::SCHED_QUEUE_DEPTH),
         0.0,
         "scheduler queue-depth gauge did not drain"
     );
+    assert_eq!(
+        snap.labeled_gauge_sum(metric::SCHED_SHARD_QUEUE_DEPTH),
+        0.0,
+        "per-shard queue-depth gauges did not drain"
+    );
     for s in 0..16 {
         assert_eq!(
-            snap.gauge(metric::sched_shard_queue_depth(s)),
+            snap.labeled_gauge(metric::SCHED_SHARD_QUEUE_DEPTH, metric::shard_label(s)),
             0.0,
             "shard {s} queue-depth gauge did not drain"
         );
     }
+    // Serving-plane books: every labeled family must balance against the
+    // `SchedStats` accumulated over the serving benchmark's concurrent
+    // runs (serial replays record no metrics by design, and the stats
+    // absorbed above cover exactly the concurrent runs).
+    assert_eq!(
+        snap.labeled_counter_sum(metric::SHARD_TXNS),
+        sched.shard_participations,
+        "per-shard txn counters disagree with the footprint books"
+    );
+    assert_eq!(
+        snap.labeled_counter(metric::SCHED_TXN_OUTCOMES, metric::LABEL_OUTCOME_COMMITTED),
+        sched.committed,
+        "committed-outcome counter disagrees with the SchedStats books"
+    );
+    assert_eq!(
+        snap.labeled_counter(metric::SCHED_TXN_OUTCOMES, metric::LABEL_OUTCOME_ABORTED),
+        sched.aborted,
+        "aborted-outcome counter disagrees with the SchedStats books"
+    );
+    assert_eq!(
+        snap.labeled_counter_sum(metric::SCHED_WAVE_WIDTHS),
+        sched.waves,
+        "wave-width counters do not sum to the wave count"
+    );
+    assert_eq!(
+        snap.counter(metric::SCHED_CROSS_SHARD_COMMITS)
+            + snap.counter(metric::SCHED_CROSS_SHARD_ABORTS),
+        sched.cross_shard_txns,
+        "cross-shard commit/abort split does not sum to the cross-shard txns"
+    );
+    // Workload-drift accounting: the measured loops pushed far more than
+    // a window's worth of events, so both the sliding txn mix and the
+    // per-view maintenance-cost EWMAs must be populated.
+    assert!(!snap.txn_mix.is_empty(), "txn-mix drift window is empty");
+    assert!(!snap.view_cost_ewma.is_empty(), "view-cost EWMAs are empty");
     eprintln!("metrics consistency: ok");
+}
+
+/// The WAL-plane books (CI's metrics-smoke job, featured durable build):
+/// the per-kind labeled record family must sum to the plain append
+/// counter and agree frame-for-frame with what the three durable passes
+/// wrote, and the recovery counters must balance against the
+/// `RecoveryStats` each timed `Database::open` returned. Delta-based
+/// against the pre-WAL snapshot so the books stay exact even if earlier
+/// phases ever grow WAL traffic.
+#[cfg(all(feature = "metrics", feature = "durability"))]
+fn assert_wal_metrics_consistent(before: &spacetime_obs::MetricsSnapshot, wal: &WalMeasured) {
+    use spacetime_obs::names as metric;
+    let snap = spacetime_obs::snapshot();
+    let n = wal.transactions as u64;
+    assert_eq!(
+        snap.labeled_counter_sum(metric::WAL_RECORDS),
+        snap.counter(metric::WAL_APPENDS),
+        "per-kind WAL record counters do not sum to the append counter"
+    );
+    // Three durable passes, each writing the workload once as
+    // single-shard, single-delta transactions: one begin, one delta,
+    // one commit frame per transaction (recovery appends none of these).
+    for kind in [
+        metric::LABEL_WAL_BEGIN,
+        metric::LABEL_WAL_DELTA,
+        metric::LABEL_WAL_COMMIT,
+    ] {
+        assert_eq!(
+            snap.labeled_counter(metric::WAL_RECORDS, kind)
+                - before.labeled_counter(metric::WAL_RECORDS, kind),
+            3 * n,
+            "WAL record count for {kind} disagrees with the workload books"
+        );
+    }
+    let replayed: u64 = wal.recovery.iter().map(|&(_, r, _)| r).sum();
+    assert_eq!(
+        snap.counter(metric::WAL_RECOVERY_REPLAYED_TXNS)
+            - before.counter(metric::WAL_RECOVERY_REPLAYED_TXNS),
+        replayed,
+        "replayed-txn counter disagrees with the RecoveryStats books"
+    );
+    // The replay-lag gauge holds whatever the most recent recovery saw.
+    let last = wal.recovery.last().map(|&(_, r, _)| r).unwrap_or(0);
+    assert_eq!(
+        snap.gauge(metric::WAL_REPLAY_LAG_TXNS),
+        last as f64,
+        "replay-lag gauge disagrees with the last recovery's RecoveryStats"
+    );
+    // Checkpoint age: crash-stopped sessions never hand back their
+    // uncheckpointed txns, so the process-wide gauge ends at the sum of
+    // each pass's post-last-checkpoint tail — `n mod every_txns` per
+    // interval (the whole workload for the never-checkpoint pass).
+    let expected_age: u64 = [None, Some(n.div_ceil(4).max(1)), Some(n.div_ceil(16).max(1))]
+        .iter()
+        .map(|every| match every {
+            Some(e) => n % e,
+            None => n,
+        })
+        .sum();
+    assert_eq!(
+        snap.gauge(metric::WAL_CHECKPOINT_AGE_TXNS) - before.gauge(metric::WAL_CHECKPOINT_AGE_TXNS),
+        expected_age as f64,
+        "checkpoint-age gauge disagrees with the checkpoint-interval books"
+    );
+    eprintln!("wal metrics consistency: ok");
 }

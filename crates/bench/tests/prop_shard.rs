@@ -77,18 +77,29 @@ fn assert_serving_identical(
         .map(|(table, delta)| vec![(table, delta)])
         .collect();
 
-    // The unsharded control: same transactions, admission order.
+    // The unsharded control: same transactions, admission order. Tracing
+    // is on everywhere in this sweep — every determinism assert below
+    // doubles as proof that span collection never perturbs reports or
+    // contents.
     let mut control = template.clone();
+    control.set_tracing(true);
+    let mut ctrl_traces = Vec::with_capacity(txns.len());
     let ctrl_reports: Vec<_> = txns
         .iter()
-        .map(|txn| control.apply_transaction(txn.clone()))
+        .map(|txn| {
+            let r = control.apply_transaction(txn.clone());
+            ctrl_traces.push(control.take_trace());
+            r
+        })
         .collect();
 
-    let sharded = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+    let mut sharded = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+    sharded.set_tracing(true);
     let out = TxnScheduler::new(&sharded, Arc::new(PipelinePool::new(width)))
         .run(&txns)
         .unwrap();
-    let replayed = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+    let mut replayed = ShardedDatabase::partition(&template, shard_spec(), n_shards).unwrap();
+    replayed.set_tracing(true);
     let replay = TxnScheduler::new(&replayed, Arc::new(PipelinePool::new(1)))
         .run_serial(&txns)
         .unwrap();
@@ -144,6 +155,44 @@ fn assert_serving_identical(
         sharded.verify_all_shards().unwrap().is_empty(),
         "a shard diverged from recomputation ({ctx})"
     );
+
+    // Span determinism: a committed transaction's span is structurally
+    // identical between the concurrent run and the serial replay at any
+    // pool width (wall clocks and notes are non-structural), and every
+    // committed slot carries a span.
+    for (i, (a, b)) in out.traces.iter().zip(replay.traces.iter()).enumerate() {
+        assert_eq!(
+            a.is_some(),
+            out.results[i].is_ok(),
+            "txn {i}: committed slots must carry a span, failed slots must not ({ctx})"
+        );
+        if let (Some(a), Some(b)) = (a, b) {
+            assert!(
+                a.structural_eq(b),
+                "txn {i}: concurrent span diverged from the replay span ({ctx})"
+            );
+        }
+    }
+    // At one shard the sharded span *is* the unsharded transaction span:
+    // the serving layer may annotate (notes) but not restructure.
+    if n_shards == 1 {
+        for (i, (t, c)) in out.traces.iter().zip(ctrl_traces.iter()).enumerate() {
+            assert_eq!(
+                t.is_some(),
+                c.is_some(),
+                "txn {i}: one-shard span presence diverged from the control ({ctx})"
+            );
+            if let (Some(t), Some(c)) = (t, c) {
+                assert!(
+                    t.structural_eq(c),
+                    "txn {i}: one-shard span diverged from the unsharded trace ({ctx})\n\
+                     sharded: {}\ncontrol: {}",
+                    t.structure_json(),
+                    c.structure_json(),
+                );
+            }
+        }
+    }
 }
 
 proptest! {

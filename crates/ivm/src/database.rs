@@ -182,6 +182,13 @@ impl Database {
         self.last_trace.as_ref()
     }
 
+    /// Take ownership of the most recent trace, leaving none behind. The
+    /// serving layer uses this to move per-shard transaction traces into
+    /// assembled cross-shard spans without cloning.
+    pub fn take_trace(&mut self) -> Option<TraceNode> {
+        self.last_trace.take()
+    }
+
     /// A snapshot of the process-wide metrics registry: pool, cache,
     /// track, and latency series accumulated across every database in the
     /// process. Empty (all maps empty) in default builds — metrics only
@@ -657,6 +664,15 @@ impl Database {
                 commit_dur,
             ));
         }
+        // Workload-drift accounting (ROADMAP item 4's input signal): the
+        // per-table transaction mix and each view's maintenance-cost EWMA.
+        // `compiled()` is const, so the whole block folds away by default.
+        if obs::compiled() {
+            obs::drift::note_txn(table);
+            for (e, plan) in self.engines.iter().zip(planned.iter()) {
+                obs::drift::note_view_cost(&e.name, plan.report.total() as f64);
+            }
+        }
         self.last_report = Some(combined.clone());
         Ok(combined)
     }
@@ -1064,6 +1080,18 @@ impl Database {
     /// Cheap relative to [`verify_all_views`] (which recomputes *every*
     /// engine): only assertion-backing engines are recomputed here.
     pub fn integrity_check(&self) -> IvmResult<()> {
+        let r = self.integrity_check_inner();
+        if let Err(e) = &r {
+            // Structural damage is exactly what the flight recorder
+            // exists for: record the finding and dump the recent-event
+            // ring so the post-mortem has the lead-up.
+            obs::flight::record("integrity_failure", || e.to_string());
+            obs::flight::dump_to_stderr("integrity-check failure");
+        }
+        r
+    }
+
+    fn integrity_check_inner(&self) -> IvmResult<()> {
         for e in &self.engines {
             for table in e.materialized_tables() {
                 if !self.catalog.contains(table) {

@@ -441,18 +441,29 @@ impl DurableDatabase {
             opts.checkpoint,
         )
         .map_err(wal_err)?;
+        let stats = RecoveryStats {
+            checkpoint_last_txn: raw.last_txn,
+            replayed_txns: sum.replayed,
+            skipped_txns: sum.skipped,
+            discarded_bytes: scan.discarded_bytes,
+        };
+        obs::gauge_set(metric::WAL_REPLAY_LAG_TXNS, stats.replayed_txns as f64);
+        obs::flight::record("recovery", || {
+            format!(
+                "{}: replayed {} skipped {} discarded {}B",
+                dir.display(),
+                stats.replayed_txns,
+                stats.skipped_txns,
+                stats.discarded_bytes
+            )
+        });
         Ok((
             DurableDatabase {
                 db,
                 wal,
                 dir: dir.to_path_buf(),
             },
-            RecoveryStats {
-                checkpoint_last_txn: raw.last_txn,
-                replayed_txns: sum.replayed,
-                skipped_txns: sum.skipped,
-                discarded_bytes: scan.discarded_bytes,
-            },
+            stats,
         ))
     }
 
@@ -791,6 +802,16 @@ impl DurableSharded {
         }
         let global = WalWriter::open(&dir.join(GLOBAL_LOG_FILE), gscan.valid_len)
             .map_err(wal_err)?;
+        obs::gauge_set(metric::WAL_REPLAY_LAG_TXNS, stats.replayed_txns as f64);
+        obs::flight::record("recovery", || {
+            format!(
+                "{} ({n_shards} shards): replayed {} skipped {} discarded {}B",
+                dir.display(),
+                stats.replayed_txns,
+                stats.skipped_txns,
+                stats.discarded_bytes
+            )
+        });
         Ok((
             DurableSharded {
                 db: ShardedDatabase::from_parts(spec, shards),
@@ -904,6 +925,64 @@ mod metric_tests {
             obs::snapshot().counter(metric::WAL_RECOVERY_REPLAYED_TXNS) - before,
             3,
             "recovery must count exactly the replayed tail"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The labeled WAL family moves per record kind, the checkpoint-age
+    /// gauge tracks uncheckpointed commits, and recovery publishes its
+    /// replay lag. Lower-bound assertions only: lib tests share the
+    /// process-global registry across threads, so exact equality books
+    /// live in the single-threaded bench (`assert_wal_metrics_consistent`).
+    #[test]
+    fn wal_record_kinds_and_age_gauges_move() {
+        use spacetime_obs::names;
+        let dir = spacetime_wal::test_dir("durability_labeled_metric");
+        let mut db = Database::new();
+        db.catalog
+            .create_table(
+                "T",
+                Schema::new(vec![Column::new("T", "a", DataType::Int)]),
+            )
+            .unwrap();
+        let before = obs::snapshot();
+        let mut dur =
+            DurableDatabase::create(db, &dir, DurabilityOptions::default()).unwrap();
+        for i in 0..4i64 {
+            dur.apply_delta("T", Delta::insert(tuple![i], 1)).unwrap();
+        }
+        drop(dur);
+        let snap = obs::snapshot();
+        for kind in [
+            names::LABEL_WAL_BEGIN,
+            names::LABEL_WAL_DELTA,
+            names::LABEL_WAL_COMMIT,
+        ] {
+            assert!(
+                snap.labeled_counter(names::WAL_RECORDS, kind)
+                    >= before.labeled_counter(names::WAL_RECORDS, kind) + 4,
+                "WAL record family did not move for {kind}"
+            );
+        }
+        // `create` installs the initial checkpoint marker.
+        assert!(
+            snap.labeled_counter(names::WAL_RECORDS, names::LABEL_WAL_CHECKPOINT)
+                > before.labeled_counter(names::WAL_RECORDS, names::LABEL_WAL_CHECKPOINT),
+            "checkpoint marker was not counted"
+        );
+        // Four commits, no checkpoint since: the session left its age
+        // behind on the process-wide gauge.
+        assert!(
+            snap.gauge(names::WAL_CHECKPOINT_AGE_TXNS)
+                >= before.gauge(names::WAL_CHECKPOINT_AGE_TXNS) + 4.0,
+            "checkpoint-age gauge did not accumulate the commits"
+        );
+
+        let (_, stats) = Database::open(&dir).unwrap();
+        assert_eq!(stats.replayed_txns, 4);
+        assert!(
+            obs::snapshot().gauge(names::WAL_REPLAY_LAG_TXNS) > 0.0,
+            "recovery must publish its replay lag"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -181,6 +181,7 @@ impl PipelinePool {
                     let dead = std::mem::replace(slot, fresh);
                     let _ = dead.join();
                     obs::counter_add(metric::POOL_RESPAWNS, 1);
+                    obs::flight::record("worker_respawned", || format!("pool worker {i}"));
                 }
             }
         }

@@ -43,7 +43,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use spacetime_delta::Delta;
-use spacetime_obs::{self as obs, names as metric};
+use spacetime_obs::{self as obs, names as metric, TraceNode};
 
 use crate::database::Database;
 use crate::engine::UpdateReport;
@@ -72,6 +72,15 @@ pub struct SchedStats {
     pub waves: u64,
     /// The largest single wave (transactions dispatched together).
     pub max_wave_width: u64,
+    /// Dispatched transactions that committed.
+    pub committed: u64,
+    /// Dispatched transactions that rolled back (assertion violation,
+    /// injected fault, or contained panic).
+    pub aborted: u64,
+    /// Sum of footprint sizes over dispatched transactions — a
+    /// cross-shard transaction counts once per participating shard.
+    /// Balances against the `spacetime_shard_txns_total` labeled counter.
+    pub shard_participations: u64,
 }
 
 impl SchedStats {
@@ -84,6 +93,9 @@ impl SchedStats {
         self.cross_shard_txns += other.cross_shard_txns;
         self.waves += other.waves;
         self.max_wave_width = self.max_wave_width.max(other.max_wave_width);
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.shard_participations += other.shard_participations;
     }
 }
 
@@ -100,6 +112,25 @@ pub struct SchedOutcome {
     pub latencies_ns: Vec<u64>,
     /// Scheduler counters for this run.
     pub stats: SchedStats,
+    /// Per-transaction spans, slot-aligned with `results`; `None` unless
+    /// tracing is on (see [`ShardedDatabase::set_tracing`]) and the
+    /// transaction committed. A single-shard transaction's span **is**
+    /// its shard's `transaction` trace (structurally identical to an
+    /// unsharded [`Database::apply_transaction`] trace — the shard id
+    /// rides along as a non-structural note); a cross-shard transaction
+    /// gets a structural `cross-shard commit` root wrapping each
+    /// participant's trace in ascending shard order, plus a `wal
+    /// global-commit` child when write-ahead logged. Assembly is
+    /// deterministic: concurrent runs and serial replays produce
+    /// structurally identical spans.
+    pub traces: Vec<Option<TraceNode>>,
+    /// The whole run as one span — `schedule` → per-wave `wave` nodes →
+    /// per-transaction spans — when tracing is on. Wave structure
+    /// legitimately differs between [`TxnScheduler::run`] and
+    /// [`TxnScheduler::run_serial`] (serial replay dispatches one
+    /// transaction per wave), so identity tests compare `traces`, not
+    /// this.
+    pub trace: Option<TraceNode>,
 }
 
 #[cfg(feature = "durability")]
@@ -203,6 +234,15 @@ impl<'a> TxnScheduler<'a> {
         }
         let mut results: Vec<Option<IvmResult<UpdateReport>>> = (0..n).map(|_| None).collect();
         let mut latencies: Vec<u64> = vec![0; n];
+        let tracing = self.db.tracing();
+        let mut traces: Vec<Option<TraceNode>> = (0..n).map(|_| None).collect();
+        let mut run_trace = tracing.then(|| {
+            let mut t = TraceNode::new("schedule")
+                .with_field("txns", n)
+                .with_field("shards", self.db.n_shards());
+            t.push_note(if concurrent { "concurrent" } else { "serial replay" });
+            t
+        });
         // Route everything up front; the footprint drives admission.
         let mut parts: Vec<Option<ShardParts>> = Vec::with_capacity(n);
         let mut pending: Vec<usize> = Vec::with_capacity(n);
@@ -223,7 +263,11 @@ impl<'a> TxnScheduler<'a> {
                     if concurrent {
                         obs::gauge_add(metric::SCHED_QUEUE_DEPTH, 1.0);
                         for (s, _) in &p {
-                            obs::gauge_add(metric::sched_shard_queue_depth(*s), 1.0);
+                            obs::gauge_add_labeled(
+                                metric::SCHED_SHARD_QUEUE_DEPTH,
+                                metric::shard_label(*s),
+                                1.0,
+                            );
                         }
                     }
                     pending.push(i);
@@ -240,6 +284,7 @@ impl<'a> TxnScheduler<'a> {
             let mut blocked: BTreeSet<usize> = BTreeSet::new();
             let mut batch: Vec<usize> = Vec::new();
             let mut rest: Vec<usize> = Vec::new();
+            let mut wave_deferrals: u64 = 0;
             for &i in &pending {
                 let Some(fp) = parts[i].as_ref() else {
                     // A routing-bookkeeping bug degrades to one failed
@@ -251,7 +296,11 @@ impl<'a> TxnScheduler<'a> {
                     if concurrent {
                         obs::gauge_add(metric::SCHED_QUEUE_DEPTH, -1.0);
                         for s in txn_footprint(txns, self.db, i) {
-                            obs::gauge_add(metric::sched_shard_queue_depth(s), -1.0);
+                            obs::gauge_add_labeled(
+                                metric::SCHED_SHARD_QUEUE_DEPTH,
+                                metric::shard_label(s),
+                                -1.0,
+                            );
                         }
                     }
                     continue;
@@ -271,16 +320,24 @@ impl<'a> TxnScheduler<'a> {
                     }
                     blocked.extend(fp.iter().map(|(s, _)| *s));
                     stats.conflict_deferrals += 1;
-                    if concurrent {
-                        obs::counter_add(metric::SCHED_CONFLICT_SERIALIZED, 1);
-                    }
+                    wave_deferrals += 1;
                     rest.push(i);
                 }
             }
             stats.waves += 1;
             stats.max_wave_width = stats.max_wave_width.max(batch.len() as u64);
             if concurrent {
+                // Deferral events are O(queue²) on a hot admission queue;
+                // one batched add per wave keeps the recorder off the scan.
+                if wave_deferrals > 0 {
+                    obs::counter_add(metric::SCHED_CONFLICT_SERIALIZED, wave_deferrals);
+                }
                 obs::counter_add(metric::SCHED_WAVES, 1);
+                obs::counter_add_labeled(
+                    metric::SCHED_WAVE_WIDTHS,
+                    metric::wave_width_label(batch.len()),
+                    1,
+                );
                 if batch.len() > 1 {
                     obs::counter_add(metric::SCHED_ADMITTED_CONCURRENT, batch.len() as u64);
                     stats.admitted_concurrent += batch.len() as u64;
@@ -288,10 +345,14 @@ impl<'a> TxnScheduler<'a> {
             }
             let t_wave = Instant::now();
             let cells = self.db.cells();
-            type TaskOut = (IvmResult<UpdateReport>, u64);
+            type TaskOut = (IvmResult<UpdateReport>, u64, Option<TraceNode>);
             let mut tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send>> =
                 Vec::with_capacity(batch.len());
             let mut dispatched: Vec<usize> = Vec::with_capacity(batch.len());
+            // Footprints of the dispatched transactions, captured before
+            // the routed parts move into the task closures (the outcome
+            // loop needs them for gauges, labels, and stats).
+            let mut fps: Vec<Vec<usize>> = Vec::with_capacity(batch.len());
             for &i in &batch {
                 let Some(p) = parts[i].take() else {
                     // Same degradation as above: one failed transaction,
@@ -303,19 +364,30 @@ impl<'a> TxnScheduler<'a> {
                     if concurrent {
                         obs::gauge_add(metric::SCHED_QUEUE_DEPTH, -1.0);
                         for s in txn_footprint(txns, self.db, i) {
-                            obs::gauge_add(metric::sched_shard_queue_depth(s), -1.0);
+                            obs::gauge_add_labeled(
+                                metric::SCHED_SHARD_QUEUE_DEPTH,
+                                metric::shard_label(s),
+                                -1.0,
+                            );
                         }
                     }
                     continue;
                 };
+                let fp: Vec<usize> = p.iter().map(|(s, _)| *s).collect();
+                if concurrent {
+                    obs::flight::record("txn_admitted", || {
+                        format!("slot {i} shards {fp:?}")
+                    });
+                }
                 let cells: Vec<Arc<Mutex<Database>>> = cells.to_vec();
                 let wals = self.wals.clone();
                 let t0 = Instant::now();
                 tasks.push(Box::new(move || {
-                    let r = apply_parts(&cells, &p, wals.as_deref());
-                    (r, t0.elapsed().as_nanos() as u64)
+                    let (r, tr) = apply_parts(&cells, &p, wals.as_deref());
+                    (r, t0.elapsed().as_nanos() as u64, tr)
                 }));
                 dispatched.push(i);
+                fps.push(fp);
             }
             let outcomes = if concurrent {
                 self.pool.run_outcomes(tasks)?
@@ -329,9 +401,10 @@ impl<'a> TxnScheduler<'a> {
             for (k, outcome) in outcomes.into_iter().enumerate() {
                 let i = dispatched[k];
                 match outcome {
-                    Ok((r, ns)) => {
+                    Ok((r, ns, tr)) => {
                         results[i] = Some(r);
                         latencies[i] = ns;
+                        traces[i] = tr;
                     }
                     Err(message) => {
                         // The dispatch itself panicked (e.g. the
@@ -341,12 +414,62 @@ impl<'a> TxnScheduler<'a> {
                         latencies[i] = t_wave.elapsed().as_nanos() as u64;
                     }
                 }
+                let fp = &fps[k];
+                stats.shard_participations += fp.len() as u64;
+                let ok = matches!(results[i], Some(Ok(_)));
+                if ok {
+                    stats.committed += 1;
+                } else {
+                    stats.aborted += 1;
+                }
                 if concurrent {
+                    for &s in fp {
+                        obs::counter_add_labeled(metric::SHARD_TXNS, metric::shard_label(s), 1);
+                    }
+                    obs::counter_add_labeled(
+                        metric::SCHED_TXN_OUTCOMES,
+                        if ok {
+                            metric::LABEL_OUTCOME_COMMITTED
+                        } else {
+                            metric::LABEL_OUTCOME_ABORTED
+                        },
+                        1,
+                    );
+                    if fp.len() > 1 {
+                        obs::counter_add(
+                            if ok {
+                                metric::SCHED_CROSS_SHARD_COMMITS
+                            } else {
+                                metric::SCHED_CROSS_SHARD_ABORTS
+                            },
+                            1,
+                        );
+                    }
+                    obs::flight::record(
+                        if ok { "txn_committed" } else { "txn_aborted" },
+                        || format!("slot {i} shards {fp:?}"),
+                    );
                     obs::gauge_add(metric::SCHED_QUEUE_DEPTH, -1.0);
-                    for s in txn_footprint(txns, self.db, i) {
-                        obs::gauge_add(metric::sched_shard_queue_depth(s), -1.0);
+                    for &s in fp {
+                        obs::gauge_add_labeled(
+                            metric::SCHED_SHARD_QUEUE_DEPTH,
+                            metric::shard_label(s),
+                            -1.0,
+                        );
                     }
                 }
+            }
+            if let Some(run) = run_trace.as_mut() {
+                let mut wave_node = TraceNode::new("wave").with_field("width", dispatched.len());
+                for &i in &dispatched {
+                    let mut txn_node = TraceNode::new("txn").with_field("slot", i);
+                    match &traces[i] {
+                        Some(t) => txn_node.push_child(t.clone()),
+                        None => txn_node.push_note("rolled back or untraced"),
+                    }
+                    wave_node.push_child(txn_node);
+                }
+                run.push_child(wave_node);
             }
             pending = rest;
         }
@@ -354,10 +477,15 @@ impl<'a> TxnScheduler<'a> {
             .into_iter()
             .map(|r| r.ok_or_else(|| IvmError::Internal("a transaction was never run".into())))
             .collect::<IvmResult<Vec<_>>>()?;
+        if let Some(run) = run_trace.as_mut() {
+            run.push_field("waves", stats.waves);
+        }
         Ok(SchedOutcome {
             results,
             latencies_ns: latencies,
             stats,
+            traces,
+            trace: run_trace,
         })
     }
 }
@@ -387,11 +515,16 @@ fn txn_footprint(txns: &[Txn], db: &ShardedDatabase, i: usize) -> Vec<usize> {
 /// participant applied and flushed — recovery aborts prepared
 /// participants whose global record is absent, which is exactly what the
 /// in-memory rollback below converges to.
+///
+/// The second return is the transaction's assembled span when tracing is
+/// on and the transaction committed (see [`SchedOutcome::traces`] for the
+/// shape contract); a rolled-back transaction leaves no trace, matching
+/// [`Database::apply_transaction`].
 fn apply_parts(
     cells: &[Arc<Mutex<Database>>],
     parts: &ShardParts,
     wals: Option<&ShardWals>,
-) -> IvmResult<UpdateReport> {
+) -> (IvmResult<UpdateReport>, Option<TraceNode>) {
     #[cfg(not(feature = "durability"))]
     let _ = wals; // uninhabited: always `None` without the feature
     #[cfg(feature = "durability")]
@@ -402,6 +535,9 @@ fn apply_parts(
     let mut committed: Vec<(usize, spacetime_storage::Catalog, Option<UpdateReport>)> = Vec::new();
     let mut combined = UpdateReport::default();
     let mut failure: Option<IvmError> = None;
+    // Per-shard transaction traces, collected in parts order (ascending
+    // shard id) so assembly is deterministic regardless of scheduling.
+    let mut shard_traces: Vec<(usize, TraceNode)> = Vec::new();
     for (shard, updates) in parts {
         let mut db = cells[*shard].lock().unwrap_or_else(|e| e.into_inner());
         let backup = db.catalog.clone();
@@ -433,6 +569,9 @@ fn apply_parts(
                     }
                 }
                 combined.merge(&r);
+                if let Some(t) = db.take_trace() {
+                    shard_traces.push((*shard, t));
+                }
                 committed.push((*shard, backup, prior_report));
             }
             Ok(Err(e)) => {
@@ -466,7 +605,13 @@ fn apply_parts(
         }
     }
     match failure {
-        None => Ok(combined),
+        None => {
+            #[cfg(feature = "durability")]
+            let trace = assemble_txn_trace(shard_traces, parts.len(), gid);
+            #[cfg(not(feature = "durability"))]
+            let trace = assemble_txn_trace(shard_traces, parts.len(), None);
+            (Ok(combined), trace)
+        }
         Some(e) => {
             // Undo every shard that already committed, newest first. A
             // restore is a pointer swap of `Arc`-backed catalogs: it fires
@@ -477,7 +622,45 @@ fn apply_parts(
                 db.catalog = backup;
                 db.last_report = prior_report;
             }
-            Err(e)
+            (Err(e), None)
         }
     }
+}
+
+/// Assemble a committed transaction's span from its per-shard transaction
+/// traces (empty when tracing is off). The shape contract
+/// ([`SchedOutcome::traces`]): a single-shard transaction's span is the
+/// shard's own `transaction` trace — structurally identical to the
+/// unsharded trace, with the shard id as a non-structural note — and a
+/// cross-shard transaction gets a structural `cross-shard commit` root
+/// with one `shard N` child per participant (ascending shard order, which
+/// routing fixes deterministically) plus a `wal global-commit` child when
+/// a global commit record was logged (`wal_global` carries its gid; the
+/// gid value itself is admission-timing-dependent, so it rides as a
+/// note).
+fn assemble_txn_trace(
+    mut shard_traces: Vec<(usize, TraceNode)>,
+    n_parts: usize,
+    wal_global: Option<u64>,
+) -> Option<TraceNode> {
+    if shard_traces.is_empty() {
+        return None;
+    }
+    if n_parts == 1 {
+        let (s, mut t) = shard_traces.pop()?;
+        t.push_note(format!("shard {s}"));
+        return Some(t);
+    }
+    let mut root = TraceNode::new("cross-shard commit").with_field("shards", n_parts);
+    for (s, t) in shard_traces {
+        let mut sn = TraceNode::new(format!("shard {s}"));
+        sn.push_child(t);
+        root.push_child(sn);
+    }
+    if let Some(gid) = wal_global {
+        let mut w = TraceNode::new("wal global-commit").with_field("participants", n_parts);
+        w.push_note(format!("gid {gid}"));
+        root.push_child(w);
+    }
+    Some(root)
 }

@@ -210,4 +210,22 @@ impl ShardedDatabase {
             cell.lock().unwrap_or_else(|e| e.into_inner()).set_propagation_mode(mode);
         }
     }
+
+    /// Enable or disable propagation-trace recording on every shard. The
+    /// scheduler assembles the per-shard transaction traces into
+    /// cross-shard spans (see [`crate::sched::SchedOutcome::traces`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        for cell in &self.shards {
+            cell.lock().unwrap_or_else(|e| e.into_inner()).set_tracing(on);
+        }
+    }
+
+    /// Whether trace recording is enabled (true iff enabled on shard 0;
+    /// [`ShardedDatabase::set_tracing`] keeps all shards in lockstep).
+    pub fn tracing(&self) -> bool {
+        self.shards
+            .first()
+            .map(|c| c.lock().unwrap_or_else(|e| e.into_inner()).tracing())
+            .unwrap_or(false)
+    }
 }

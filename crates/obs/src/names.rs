@@ -78,38 +78,94 @@ pub const SCHED_WAVES: &str = "spacetime_sched_waves_total";
 /// Transactions currently queued for admission across all shards.
 pub const SCHED_QUEUE_DEPTH: &str = "spacetime_sched_queue_depth";
 
-/// Per-shard admission-queue depth gauges for the first
-/// [`SCHED_SHARD_GAUGES`](sched_shard_queue_depth) shard domains; higher
-/// shard ids share [`SCHED_SHARD_QUEUE_DEPTH_OVERFLOW`]. Static because the
-/// metrics registry only accepts `&'static str` names.
-const SCHED_SHARD_QUEUE_DEPTHS: [&str; 16] = [
-    "spacetime_sched_shard_queue_depth_s0",
-    "spacetime_sched_shard_queue_depth_s1",
-    "spacetime_sched_shard_queue_depth_s2",
-    "spacetime_sched_shard_queue_depth_s3",
-    "spacetime_sched_shard_queue_depth_s4",
-    "spacetime_sched_shard_queue_depth_s5",
-    "spacetime_sched_shard_queue_depth_s6",
-    "spacetime_sched_shard_queue_depth_s7",
-    "spacetime_sched_shard_queue_depth_s8",
-    "spacetime_sched_shard_queue_depth_s9",
-    "spacetime_sched_shard_queue_depth_s10",
-    "spacetime_sched_shard_queue_depth_s11",
-    "spacetime_sched_shard_queue_depth_s12",
-    "spacetime_sched_shard_queue_depth_s13",
-    "spacetime_sched_shard_queue_depth_s14",
-    "spacetime_sched_shard_queue_depth_s15",
-];
-/// Shared queue-depth gauge for shard ids ≥ 16.
-pub const SCHED_SHARD_QUEUE_DEPTH_OVERFLOW: &str = "spacetime_sched_shard_queue_depth_overflow";
+/// Per-shard admission-queue depth, labeled by [`shard_label`].
+pub const SCHED_SHARD_QUEUE_DEPTH: &str = "spacetime_sched_shard_queue_depth";
+/// Dispatched transactions per participating shard, labeled by
+/// [`shard_label`] (a cross-shard transaction counts once per shard).
+pub const SHARD_TXNS: &str = "spacetime_shard_txns_total";
+/// Dispatched transactions by outcome, labeled [`LABEL_OUTCOME_COMMITTED`]
+/// or [`LABEL_OUTCOME_ABORTED`].
+pub const SCHED_TXN_OUTCOMES: &str = "spacetime_sched_txn_outcomes_total";
+/// Admission waves by dispatched width, labeled by [`wave_width_label`].
+pub const SCHED_WAVE_WIDTHS: &str = "spacetime_sched_wave_width_total";
+/// Cross-shard transactions that reached the global commit record.
+pub const SCHED_CROSS_SHARD_COMMITS: &str = "spacetime_sched_cross_shard_commits_total";
+/// Cross-shard transactions rolled back before the global commit record.
+pub const SCHED_CROSS_SHARD_ABORTS: &str = "spacetime_sched_cross_shard_aborts_total";
 
-/// The queue-depth gauge name for a shard id.
-pub fn sched_shard_queue_depth(shard: usize) -> &'static str {
-    SCHED_SHARD_QUEUE_DEPTHS
-        .get(shard)
-        .copied()
-        .unwrap_or(SCHED_SHARD_QUEUE_DEPTH_OVERFLOW)
+// --- label dimension ------------------------------------------------------
+//
+// Labels are full `key="value"` pairs with *fixed, small cardinality*, all
+// `'static` so the registry can key on pointer-stable strings with zero
+// allocation on the hot path. Anything unbounded (table names, view names)
+// stays out of the label space and goes through the drift accounting
+// instead.
+
+/// `shard="sN"` labels for the first 16 shard domains; higher ids share
+/// [`SHARD_LABEL_OVERFLOW`].
+const SHARD_LABELS: [&str; 16] = [
+    "shard=\"s0\"",
+    "shard=\"s1\"",
+    "shard=\"s2\"",
+    "shard=\"s3\"",
+    "shard=\"s4\"",
+    "shard=\"s5\"",
+    "shard=\"s6\"",
+    "shard=\"s7\"",
+    "shard=\"s8\"",
+    "shard=\"s9\"",
+    "shard=\"s10\"",
+    "shard=\"s11\"",
+    "shard=\"s12\"",
+    "shard=\"s13\"",
+    "shard=\"s14\"",
+    "shard=\"s15\"",
+];
+/// Shared label for shard ids ≥ 16.
+pub const SHARD_LABEL_OVERFLOW: &str = "shard=\"overflow\"";
+
+/// The `shard="sN"` label for a shard id.
+pub fn shard_label(shard: usize) -> &'static str {
+    SHARD_LABELS.get(shard).copied().unwrap_or(SHARD_LABEL_OVERFLOW)
 }
+
+/// Outcome label: the transaction committed.
+pub const LABEL_OUTCOME_COMMITTED: &str = "outcome=\"committed\"";
+/// Outcome label: the transaction rolled back (assertion violation,
+/// contained panic, or cross-shard abort).
+pub const LABEL_OUTCOME_ABORTED: &str = "outcome=\"aborted\"";
+
+/// `width="N"` labels for wave widths 0–8; wider waves share
+/// [`WAVE_WIDTH_OVERFLOW`].
+const WAVE_WIDTH_LABELS: [&str; 9] = [
+    "width=\"0\"",
+    "width=\"1\"",
+    "width=\"2\"",
+    "width=\"3\"",
+    "width=\"4\"",
+    "width=\"5\"",
+    "width=\"6\"",
+    "width=\"7\"",
+    "width=\"8\"",
+];
+/// Shared label for waves dispatching more than 8 transactions.
+pub const WAVE_WIDTH_OVERFLOW: &str = "width=\"9plus\"";
+
+/// The `width="N"` label for a wave's dispatched batch size.
+pub fn wave_width_label(width: usize) -> &'static str {
+    WAVE_WIDTH_LABELS.get(width).copied().unwrap_or(WAVE_WIDTH_OVERFLOW)
+}
+
+/// WAL record-kind label: transaction begin frames.
+pub const LABEL_WAL_BEGIN: &str = "kind=\"begin\"";
+/// WAL record-kind label: delta payload frames.
+pub const LABEL_WAL_DELTA: &str = "kind=\"delta\"";
+/// WAL record-kind label: commit frames.
+pub const LABEL_WAL_COMMIT: &str = "kind=\"commit\"";
+/// WAL record-kind label: cross-shard prepared frames.
+pub const LABEL_WAL_PREPARED: &str = "kind=\"prepared\"";
+/// WAL record-kind label: checkpoint marker frames.
+pub const LABEL_WAL_CHECKPOINT: &str = "kind=\"checkpoint\"";
 
 /// Failpoints fired (only moves in `failpoints` builds).
 pub const FAILPOINTS_FIRED: &str = "spacetime_failpoints_fired_total";
@@ -125,3 +181,13 @@ pub const WAL_CHECKPOINTS: &str = "spacetime_wal_checkpoints_total";
 /// Committed transactions replayed from the log tail during recovery —
 /// with checkpointing active this counts only the post-checkpoint tail.
 pub const WAL_RECOVERY_REPLAYED_TXNS: &str = "spacetime_wal_recovery_replayed_txns_total";
+/// WAL record frames appended by kind, labeled `kind="begin"` …
+/// `kind="checkpoint"` (see the `LABEL_WAL_*` constants). Sums to
+/// [`WAL_APPENDS`].
+pub const WAL_RECORDS: &str = "spacetime_wal_records_total";
+/// Committed transactions since the last installed checkpoint, summed over
+/// every live WAL session (gauge; drops when a checkpoint lands).
+pub const WAL_CHECKPOINT_AGE_TXNS: &str = "spacetime_wal_checkpoint_age_txns";
+/// Transactions the most recent recovery replayed from the log tail
+/// (gauge; a proxy for how far the checkpoint lagged the log at crash).
+pub const WAL_REPLAY_LAG_TXNS: &str = "spacetime_wal_replay_lag_txns";

@@ -309,6 +309,7 @@ mod imp {
             // Guard drops here: panicking below must not poison the plan.
         };
         spacetime_obs::counter_add(spacetime_obs::names::FAILPOINTS_FIRED, 1);
+        spacetime_obs::flight::record("failpoint", || format!("{site} fired {action:?}"));
         match action {
             FaultAction::Error => Err(StorageError::FaultInjected {
                 site: site.to_string(),

@@ -177,6 +177,7 @@ impl WalSession {
         self.writer.commit_durable(self.sync)?;
         self.txns_since_checkpoint += 1;
         self.bytes_since_checkpoint += bytes;
+        spacetime_obs::gauge_add(spacetime_obs::names::WAL_CHECKPOINT_AGE_TXNS, 1.0);
         Ok(())
     }
 
@@ -186,6 +187,7 @@ impl WalSession {
         let bytes = self.writer.append(&Record::Prepared { txn_id })?;
         self.txns_since_checkpoint += 1;
         self.bytes_since_checkpoint += bytes;
+        spacetime_obs::gauge_add(spacetime_obs::names::WAL_CHECKPOINT_AGE_TXNS, 1.0);
         Ok(())
     }
 
@@ -210,6 +212,12 @@ impl WalSession {
             SyncPolicy::OnCheckpoint => SyncPolicy::Always,
             s => s,
         })?;
+        // Drop this session's contribution to the process-wide
+        // checkpoint-age gauge (other live sessions keep theirs).
+        spacetime_obs::gauge_add(
+            spacetime_obs::names::WAL_CHECKPOINT_AGE_TXNS,
+            -(self.txns_since_checkpoint as f64),
+        );
         self.txns_since_checkpoint = 0;
         self.bytes_since_checkpoint = 0;
         Ok(())

@@ -12,6 +12,7 @@ use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use spacetime_delta::Delta;
+use spacetime_obs::flight;
 use spacetime_obs::metrics as obs;
 use spacetime_obs::names;
 use spacetime_storage::fault;
@@ -22,6 +23,19 @@ use crate::{SyncPolicy, WalError, WalResult};
 /// Maximum sane frame payload (64 MiB); larger lengths are treated as
 /// corruption rather than honored as allocations.
 const MAX_FRAME: u32 = 64 << 20;
+
+/// The `kind="…"` metrics label for a record (the
+/// `spacetime_wal_records_total` labeled counter; its per-kind series sum
+/// to `spacetime_wal_appends_total`).
+fn record_kind_label(rec: &Record) -> &'static str {
+    match rec {
+        Record::TxnBegin { .. } => names::LABEL_WAL_BEGIN,
+        Record::Delta { .. } => names::LABEL_WAL_DELTA,
+        Record::TxnCommit { .. } => names::LABEL_WAL_COMMIT,
+        Record::Prepared { .. } => names::LABEL_WAL_PREPARED,
+        Record::Checkpoint { .. } => names::LABEL_WAL_CHECKPOINT,
+    }
+}
 
 /// One durable log record.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,6 +197,7 @@ impl WalWriter {
         self.len += frame.len() as u64;
         obs::counter_add(names::WAL_APPENDS, 1);
         obs::counter_add(names::WAL_BYTES, frame.len() as u64);
+        obs::counter_add_labeled(names::WAL_RECORDS, record_kind_label(rec), 1);
         Ok(frame.len() as u64)
     }
 
@@ -198,6 +213,7 @@ impl WalWriter {
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
         obs::counter_add(names::WAL_FSYNCS, 1);
+        flight::record("wal_fsync", || format!("{} bytes on log", self.len));
         Ok(())
     }
 

@@ -47,6 +47,7 @@ pub use spacetime_cost as cost;
 pub use spacetime_delta as delta;
 pub use spacetime_ivm as ivm;
 pub use spacetime_memo as memo;
+pub use spacetime_obs as obs;
 pub use spacetime_optimizer as optimizer;
 pub use spacetime_sql as sql;
 pub use spacetime_storage as storage;
